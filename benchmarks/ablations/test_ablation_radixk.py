@@ -1,0 +1,59 @@
+"""Future-work ablation: radix-k — where this paper's insight led.
+
+The paper's compositor limiting tames direct-send's small-message storm
+by capping the receiver count; the authors' follow-on Radix-k work
+generalizes the other classic (binary swap) so the radix tunes message
+size against round count.  This bench prices radix-k across k at paper
+scale and shows the same sweet spot logic: extremes lose, moderate
+radices (and the paper's limited direct-send) win.
+"""
+
+
+from benchmarks.conftest import write_result
+from repro.analysis.reports import format_table
+from repro.compositing.policy import IDENTITY_POLICY, PAPER_POLICY
+from repro.compositing.radixk import default_radices
+from repro.model.composite import radix_k_cost
+
+IMAGE_BYTES = 1600 * 1600 * 16
+CORES = 32768  # block grid 32 x 32 x 32
+
+
+def test_ablation_radixk(benchmark, results_dir, fm_1120):
+    def collect():
+        out = {}
+        for k in (2, 4, 8, 32):
+            radices = []
+            for _axis in range(3):  # 32 blocks per axis
+                radices += default_radices(32, k)
+            out[f"radix-{k}"] = radix_k_cost(radices, IMAGE_BYTES)
+        out["direct-send m=n"] = fm_1120.composite_stage(CORES, IDENTITY_POLICY)
+        out["direct-send m=2K"] = fm_1120.composite_stage(CORES, PAPER_POLICY)
+        return out
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    table = format_table(
+        ["algorithm", "time (s)", "messages", "mean msg (B)"],
+        [
+            [name, r.seconds, r.num_messages, int(r.mean_message_bytes)]
+            for name, r in results.items()
+        ],
+    )
+
+    # Every radix-k variant beats the original direct-send collapse.
+    for k in (2, 4, 8, 32):
+        assert results[f"radix-{k}"].seconds < results["direct-send m=n"].seconds
+    # Bigger k -> fewer rounds but more, smaller messages per round.
+    assert results["radix-32"].num_messages > results["radix-2"].num_messages
+    assert results["radix-32"].mean_message_bytes < results["radix-2"].mean_message_bytes
+    # The paper's limited direct-send stays competitive with the best k.
+    best_k = min(results[f"radix-{k}"].seconds for k in (2, 4, 8, 32))
+    assert results["direct-send m=2K"].seconds < 4 * best_k
+
+    write_result(
+        results_dir,
+        "ablation_radixk",
+        f"Future-work ablation: radix-k vs direct-send at {CORES} cores "
+        "(1120^3, 1600^2)\n\n" + table,
+    )

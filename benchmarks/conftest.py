@@ -1,0 +1,55 @@
+"""Shared fixtures for the experiment benches.
+
+Every bench regenerates one of the paper's tables or figures, writes
+its text rendering to ``benchmarks/results/`` (so the artifacts survive
+the run), asserts the *shape* claims the paper makes about it, and
+times the central computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.model.pipeline import DATASETS, FrameModel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's Fig. 3 core-count sweep.
+CORE_SWEEP = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def fm_1120() -> FrameModel:
+    return FrameModel(DATASETS["1120"])
+
+
+@pytest.fixture(scope="session")
+def fm_2240() -> FrameModel:
+    return FrameModel(DATASETS["2240"])
+
+
+@pytest.fixture(scope="session")
+def fm_4480() -> FrameModel:
+    return FrameModel(DATASETS["4480"])
+
+
+@pytest.fixture(scope="session")
+def fig3_estimates(fm_1120):
+    """(improved, original) FrameEstimates over the paper's core sweep.
+
+    Session-scoped: several figures (3, 4, 5, 6) share this sweep.
+    """
+    return {c: (fm_1120.estimate(c), fm_1120.estimate_original(c)) for c in CORE_SWEEP}

@@ -1,0 +1,26 @@
+"""The reproduction scorecard: every published anchor vs the model.
+
+Not a paper figure — the cross-cutting summary EXPERIMENTS.md quotes.
+"""
+
+from benchmarks.conftest import write_result
+from repro.model.validation import fidelity_report
+
+
+def test_fidelity_scorecard(benchmark, results_dir):
+    report = benchmark.pedantic(fidelity_report, rounds=1, iterations=1)
+
+    assert report.within_factor_2 == 1.0
+    assert report.mean_log2_error < 0.45
+
+    write_result(
+        results_dir,
+        "fidelity_scorecard",
+        "Reproduction scorecard: paper anchors vs calibrated model\n\n"
+        + report.table()
+        + f"\n\nmean |log2 ratio| = {report.mean_log2_error:.3f} "
+        f"(~{100 * (2 ** report.mean_log2_error - 1):.0f}% typical deviation), "
+        f"max = {report.max_log2_error:.3f}; "
+        f"{100 * report.within_factor_2:.0f}% of anchors within 2x",
+    )
+    benchmark.extra_info["mean_log2_error"] = report.mean_log2_error

@@ -1,0 +1,52 @@
+"""Fig. 2 — "The storage system and its connection to BG/P."
+
+The figure is an architecture diagram; the bench reproduces its
+*content*: 17 SANs x servers with failover, 4.3 PB capacity, ~5.5 GB/s
+peak per SAN, and the 64:1 compute-to-I/O-node fan-in, as modeled.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.machine.partition import Partition
+from repro.machine.specs import BGP_ALCF
+from repro.storage.stripedfs import StorageSystem, StripeConfig, StripedFile
+from repro.storage.store import VirtualStore
+from repro.utils.units import GB, fmt_bandwidth, fmt_bytes
+
+
+def test_fig02_storage_system(benchmark, results_dir):
+    system = StorageSystem()
+
+    def build_report() -> str:
+        lines = ["Fig. 2 reproduction: the modeled storage system", ""]
+        lines.append("  " + system.describe())
+        lines.append(
+            f"  compute fan-in: 1 I/O node per {BGP_ALCF.compute_nodes_per_io_node} "
+            "compute nodes"
+        )
+        for cores in (64, 2048, 32768):
+            p = Partition.for_cores(cores)
+            lines.append(
+                f"    {cores:>6} cores = {p.nodes:>5} nodes -> {p.io_nodes:>3} I/O nodes"
+            )
+        # Demonstrate striping: a 1 GB file spreads evenly over servers
+        # (virtual store — striping math needs no bytes).
+        stripe = StripeConfig()
+        f = StripedFile(VirtualStore(int(1 * GB)), stripe)
+        per_server = f.per_server_bytes(np.array([0]), np.array([int(1 * GB)]))
+        lines.append(
+            f"  striping check: {fmt_bytes(int(1 * GB))} file -> "
+            f"{np.count_nonzero(per_server)} servers busy, "
+            f"max skew {per_server.max() / max(per_server[per_server > 0].min(), 1):.2f}x"
+        )
+        lines.append(
+            f"  theoretical peak {fmt_bandwidth(system.peak_aggregate_Bps)}; the paper "
+            "measured ~50 GB/s aggregate and 0.35-1.6 GB/s application-visible"
+        )
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    assert system.num_servers == 136
+    assert system.peak_aggregate_Bps > 50 * GB  # 93.5 GB/s theoretical
+    write_result(results_dir, "fig02_storage_system", report)

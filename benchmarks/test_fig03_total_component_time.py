@@ -1,0 +1,85 @@
+"""Fig. 3 — "Total frame time as well as individual components I/O,
+rendering, and compositing times plotted on a log-log scale."
+
+1120^3 data, 1600^2 image, raw I/O, 64 - 32K cores, with both the
+original (m = n) and improved (compositor-limited) direct-send curves.
+
+Shape assertions, from the paper's text:
+  * best all-inclusive frame time at 16K cores (paper: 5.9 s);
+  * rendering ~linear;
+  * original compositing flat through 1K, then sharply up, exceeding
+    rendering beyond 8K;
+  * at 32K the improved compositing is ~30x faster and the frame ~24%
+    cheaper.
+"""
+
+from benchmarks.conftest import CORE_SWEEP, write_result
+from repro.analysis.asciiplot import ascii_loglog
+from repro.analysis.reports import fig3_rows
+
+
+def test_fig03_total_component_time(benchmark, results_dir, fm_1120, fig3_estimates):
+    estimates = fig3_estimates
+
+    # Benchmark one full-scale frame estimate (the most expensive point).
+    benchmark.pedantic(fm_1120.estimate, args=(32768,), rounds=1, iterations=1)
+
+    table = fig3_rows(estimates)
+    plot = ascii_loglog(
+        {
+            "total": (list(CORE_SWEEP), [estimates[c][0].total_s for c in CORE_SWEEP]),
+            "raw I/O": (list(CORE_SWEEP), [estimates[c][0].io.seconds for c in CORE_SWEEP]),
+            "render": (list(CORE_SWEEP), [estimates[c][0].render.seconds for c in CORE_SWEEP]),
+            "orig comp": (
+                list(CORE_SWEEP),
+                [estimates[c][1].composite.seconds for c in CORE_SWEEP],
+            ),
+            "impr comp": (
+                list(CORE_SWEEP),
+                [estimates[c][0].composite.seconds for c in CORE_SWEEP],
+            ),
+        },
+        xlabel="processors",
+        ylabel="time (s)",
+    )
+
+    totals = {c: estimates[c][0].total_s for c in CORE_SWEEP}
+    best = min(totals, key=totals.get)
+    assert best == 16384, f"best total should be at 16K cores, got {best}"
+    assert 4.5 < totals[16384] < 8.0  # paper: 5.9 s
+
+    render = [estimates[c][0].render.seconds for c in CORE_SWEEP]
+    ratios = [render[i] / render[i + 1] for i in range(len(render) - 1)]
+    assert all(1.9 < r < 2.1 for r in ratios), "rendering must scale ~linearly"
+
+    orig = {c: estimates[c][1].composite.seconds for c in CORE_SWEEP}
+    assert max(orig[c] for c in (64, 128, 256, 512, 1024)) < 0.3, "flat through 1K"
+    assert orig[32768] > 10 * orig[1024], "sharp increase beyond 1K"
+    assert orig[16384] > estimates[16384][0].render.seconds, "composite > render beyond 8K"
+
+    improvement = orig[32768] / estimates[32768][0].composite.seconds
+    assert 15 < improvement < 60, f"~30x expected, got {improvement:.1f}x"
+    frame_cut = 1 - estimates[32768][0].total_s / estimates[32768][1].total_s
+    assert 0.12 < frame_cut < 0.35, f"~24% expected, got {100 * frame_cut:.1f}%"
+
+    vis_only = estimates[16384][0].vis_only_s
+    summary = (
+        f"best total {totals[best]:.2f} s at {best} cores (paper: 5.9 s at 16K)\n"
+        f"visualization-only at 16K: {vis_only:.2f} s (paper: 0.6 s)\n"
+        f"composite improvement at 32K: {improvement:.1f}x (paper: 30x)\n"
+        f"frame-time reduction at 32K: {100 * frame_cut:.1f}% (paper: 24%)"
+    )
+    write_result(
+        results_dir,
+        "fig03_total_component_time",
+        "Fig. 3: total and component time (1120^3, 1600^2, raw I/O)\n\n"
+        + table + "\n\n" + plot + "\n\n" + summary,
+    )
+    # Machine-readable twin for downstream plotting.
+    from repro.analysis.export import estimates_to_json
+
+    (results_dir / "fig03_total_component_time.json").write_text(
+        estimates_to_json([estimates[c][0] for c in CORE_SWEEP])
+    )
+    benchmark.extra_info["best_cores"] = best
+    benchmark.extra_info["improvement_32k"] = improvement

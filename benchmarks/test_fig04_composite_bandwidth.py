@@ -1,0 +1,72 @@
+"""Fig. 4 — "Communication bandwidth plotted against message size and
+number of processors."
+
+As the number of processors grows (and mean compositing-message size
+shrinks: 40 KB at 256 procs down to ~312 B at 32K), achieved
+compositing bandwidth falls away from the theoretical peak; the drop is
+far more severe for the original (m = n) scheme than for the improved
+one.
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis.asciiplot import ascii_loglog
+from repro.analysis.reports import format_table
+
+SWEEP = (256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+
+
+def test_fig04_composite_bandwidth(benchmark, results_dir, fm_1120, fig3_estimates):
+    link = fm_1120.constants.composite.link
+
+    def collect():
+        rows = []
+        for cores in SWEEP:
+            orig = fig3_estimates[cores][1].composite
+            impr = fig3_estimates[cores][0].composite
+            # Peak: every core pushing its share at full link bandwidth.
+            peak = cores * link.bandwidth_Bps
+            rows.append((cores, orig, impr, peak))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    table = format_table(
+        ["procs", "mean msg (B)", "orig BW (MB/s)", "impr BW (MB/s)", "peak (MB/s)"],
+        [
+            [
+                c,
+                int(orig.mean_message_bytes),
+                orig.achieved_bandwidth_Bps / 1e6,
+                impr.achieved_bandwidth_Bps / 1e6,
+                peak / 1e6,
+            ]
+            for c, orig, impr, peak in rows
+        ],
+    )
+    plot = ascii_loglog(
+        {
+            "peak": ([r[0] for r in rows], [r[3] / 1e6 for r in rows]),
+            "improved": ([r[0] for r in rows], [r[2].achieved_bandwidth_Bps / 1e6 for r in rows]),
+            "original": ([r[0] for r in rows], [r[1].achieved_bandwidth_Bps / 1e6 for r in rows]),
+        },
+        xlabel="processors",
+        ylabel="composite bandwidth (MB/s)",
+    )
+
+    # Message size shrinks roughly like image_bytes / n (40 KB -> ~300 B).
+    first, last = rows[0], rows[-1]
+    assert first[1].mean_message_bytes > 20_000
+    assert last[1].mean_message_bytes < 4_000
+
+    # Original falls away from peak much faster than improved.
+    orig_frac = [r[1].achieved_bandwidth_Bps / r[3] for r in rows]
+    impr_frac = [r[2].achieved_bandwidth_Bps / r[3] for r in rows]
+    assert orig_frac[-1] < orig_frac[0] / 50, "original collapses at scale"
+    assert impr_frac[-1] > 5 * orig_frac[-1], "improved stays much closer to peak"
+
+    write_result(
+        results_dir,
+        "fig04_composite_bandwidth",
+        "Fig. 4: composite bandwidth vs message size / processors "
+        "(1120^3, 1600^2)\n\n" + table + "\n\n" + plot,
+    )

@@ -1,0 +1,79 @@
+"""Fig. 5 — "Total frame time for three data and image sizes on a
+log-log scale."
+
+1120^3/1600^2, 2240^3/2048^2, 4480^3/4096^2 over the core sweep.  The
+curves are ordered by problem size everywhere, all decrease toward
+large core counts, and "even at 2K or 4K cores, any of the problem
+sizes can be visualized, given enough time."
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis.asciiplot import ascii_loglog
+from repro.analysis.reports import format_table
+
+SWEEPS = {
+    "1120": (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768),
+    "2240": (2048, 4096, 8192, 16384, 32768),
+    "4480": (2048, 4096, 8192, 16384, 32768),
+}
+
+
+def test_fig05_overall_summary(benchmark, results_dir, fm_1120, fm_2240, fm_4480, fig3_estimates):
+    models = {"1120": fm_1120, "2240": fm_2240, "4480": fm_4480}
+
+    def collect():
+        out = {}
+        for name, sweep in SWEEPS.items():
+            fm = models[name]
+            series = []
+            for cores in sweep:
+                if name == "1120":
+                    series.append(fig3_estimates[cores][0].total_s)
+                else:
+                    series.append(fm.estimate(cores).total_s)
+            out[name] = (list(sweep), series)
+        return out
+
+    curves = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    labels = {
+        "1120": "1120^3, 1600^2",
+        "2240": "2240^3, 2048^2",
+        "4480": "4480^3, 4096^2",
+    }
+    plot = ascii_loglog(
+        {labels[k]: v for k, v in curves.items()},
+        xlabel="processors",
+        ylabel="total frame time (s)",
+    )
+    rows = []
+    for cores in SWEEPS["2240"]:
+        row = [cores]
+        for name in ("1120", "2240", "4480"):
+            xs, ys = curves[name]
+            row.append(ys[xs.index(cores)])
+        rows.append(row)
+    table = format_table(["procs", "1120^3 (s)", "2240^3 (s)", "4480^3 (s)"], rows)
+
+    # Ordering: bigger problems are strictly slower at every core count.
+    for cores in SWEEPS["2240"]:
+        xs1, ys1 = curves["1120"]
+        xs2, ys2 = curves["2240"]
+        xs4, ys4 = curves["4480"]
+        assert ys1[xs1.index(cores)] < ys2[xs2.index(cores)] < ys4[xs4.index(cores)]
+
+    # Feasibility at modest scale: 4480^3 at 2K cores still finishes in
+    # minutes, not hours.
+    assert curves["4480"][1][0] < 1800
+
+    # Monotone improvement from 2K to 16K for the big datasets.
+    for name in ("2240", "4480"):
+        _xs, ys = curves[name]
+        assert ys[0] > ys[1] > ys[2] > ys[3]
+
+    write_result(
+        results_dir,
+        "fig05_overall_summary",
+        "Fig. 5: overall performance summary (three data/image sizes)\n\n"
+        + table + "\n\n" + plot,
+    )

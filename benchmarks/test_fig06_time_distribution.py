@@ -1,0 +1,42 @@
+"""Fig. 6 — "Percentage of time spent in I/O, rendering, and
+compositing.  I/O dominates the overall algorithm's performance."
+
+A stacked-percentage view over the core sweep: rendering's share
+shrinks as cores grow, I/O's share grows toward ~90+%, compositing
+stays a sliver (with the improved scheme).
+"""
+
+from benchmarks.conftest import CORE_SWEEP, write_result
+from repro.analysis.reports import format_table, time_distribution_rows
+
+
+def test_fig06_time_distribution(benchmark, results_dir, fig3_estimates):
+    def collect():
+        return {c: fig3_estimates[c][0] for c in CORE_SWEEP}
+
+    estimates = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    bars = time_distribution_rows(estimates, width=50)
+    table = format_table(
+        ["procs", "% I/O", "% render", "% composite"],
+        [
+            [c, estimates[c].pct_io, estimates[c].pct_render, estimates[c].pct_composite]
+            for c in CORE_SWEEP
+        ],
+    )
+
+    pct_io = [estimates[c].pct_io for c in CORE_SWEEP]
+    pct_render = [estimates[c].pct_render for c in CORE_SWEEP]
+    assert all(a <= b + 1e-9 for a, b in zip(pct_io, pct_io[1:])), "I/O share grows"
+    assert all(a >= b - 1e-9 for a, b in zip(pct_render, pct_render[1:])), "render share shrinks"
+    assert pct_io[-1] > 85, "I/O dominates at scale"
+    assert estimates[64].pct_render > 50, "render dominates at 64 cores"
+    for c in CORE_SWEEP:
+        assert estimates[c].pct_composite < 15
+
+    write_result(
+        results_dir,
+        "fig06_time_distribution",
+        "Fig. 6: time distribution (1120^3, 1600^2, raw, improved "
+        "compositing)\n\n" + table + "\n\n" + bars,
+    )

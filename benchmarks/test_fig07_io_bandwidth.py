@@ -1,0 +1,63 @@
+"""Fig. 7 — "Our application's I/O performance for raw mode, original
+PnetCDF, and tuned PnetCDF.  Data size is 1120^3."
+
+Shape claims from Sec. V: raw bandwidth rises with core count toward
+~1 GB/s; untuned netCDF is 4-5x slower than raw at low core counts;
+tuning the collective buffer to the record size roughly doubles netCDF
+throughput.
+"""
+
+from benchmarks.conftest import CORE_SWEEP, write_result
+from repro.analysis.asciiplot import ascii_loglog
+from repro.analysis.reports import format_table
+
+MODES = ("raw", "netcdf-tuned", "netcdf")
+
+
+def test_fig07_io_bandwidth(benchmark, results_dir, fm_1120):
+    def collect():
+        return {
+            mode: [fm_1120.io_stage(mode, c).effective_bw_Bps for c in CORE_SWEEP]
+            for mode in MODES
+        }
+
+    curves = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    table = format_table(
+        ["procs", "raw (MB/s)", "tuned PnetCDF (MB/s)", "original PnetCDF (MB/s)"],
+        [
+            [c, curves["raw"][i] / 1e6, curves["netcdf-tuned"][i] / 1e6, curves["netcdf"][i] / 1e6]
+            for i, c in enumerate(CORE_SWEEP)
+        ],
+    )
+    plot = ascii_loglog(
+        {
+            "raw": (list(CORE_SWEEP), [b / 1e6 for b in curves["raw"]]),
+            "tuned PnetCDF": (list(CORE_SWEEP), [b / 1e6 for b in curves["netcdf-tuned"]]),
+            "original PnetCDF": (list(CORE_SWEEP), [b / 1e6 for b in curves["netcdf"]]),
+        },
+        xlabel="processors",
+        ylabel="I/O bandwidth (MB/s)",
+    )
+
+    raw = curves["raw"]
+    tuned = curves["netcdf-tuned"]
+    untuned = curves["netcdf"]
+    # Ordering holds everywhere: raw > tuned > untuned.
+    for i in range(len(CORE_SWEEP)):
+        assert raw[i] > tuned[i] > untuned[i]
+    # "NetCDF is approximately 4-5 times slower than raw mode at low
+    # numbers of cores."
+    assert 3.0 < raw[0] / untuned[0] < 6.5
+    # Tuning "improved the netCDF I/O performance in some cases by a
+    # factor of two over the untuned performance."
+    assert any(t / u > 1.8 for t, u in zip(tuned, untuned))
+    # Raw bandwidth grows toward the ~1 GB/s regime.
+    assert raw[0] < 0.6e9
+    assert max(raw) > 0.8e9
+
+    write_result(
+        results_dir,
+        "fig07_io_bandwidth",
+        "Fig. 7: application I/O bandwidth (1120^3)\n\n" + table + "\n\n" + plot,
+    )

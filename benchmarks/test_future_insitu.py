@@ -1,0 +1,67 @@
+"""Future-work experiment (Sec. VI): what in-situ buys.
+
+"We hope that in situ techniques will ... eliminate or reduce expensive
+storage accesses, because, as our research shows, I/O dominates
+large-scale visualization."
+
+Functional half: a coupled solver+renderer run at test scale, frames
+verified elsewhere.  Model half: per visualized time step at paper
+scale, compare
+
+  store-then-read:  collective write + collective read + render + composite
+  in situ:          halo exchange + render + composite
+
+using the same calibrated models as Figs. 3-7.
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis.reports import format_table
+from repro.data.synthetic import supernova_field
+from repro.insitu import AdvectionDiffusionSim, InSituPipeline
+from repro.render import Camera, TransferFunction
+from repro.vmpi import MPIWorld
+
+GRID = (16, 16, 16)
+
+
+def test_future_insitu(benchmark, results_dir, fm_1120):
+    # --- functional: a real coupled run.
+    sim = AdvectionDiffusionSim(GRID, omega=0.12, kappa=0.04)
+    cam = Camera.looking_at_volume(GRID, width=32, height=32)
+    tf = TransferFunction.grayscale_ramp(0, 1.6)
+    field = supernova_field(GRID, "density", seed=8)
+    pipe = InSituPipeline(MPIWorld.for_cores(8), sim, cam, tf, step=0.8)
+
+    result = benchmark.pedantic(
+        pipe.run, args=(field,), kwargs={"steps": 4, "render_every": 2},
+        rounds=1, iterations=1,
+    )
+    assert len(result.frames) == 2
+    assert result.vis_seconds > 0
+
+    # --- model: the paper-scale comparison, per visualized time step.
+    rows = []
+    for cores in (8192, 16384, 32768):
+        est = fm_1120.estimate(cores, io_mode="raw")
+        # Store-then-read pays the write too (writes plan like reads of
+        # the same extent through the same two-phase machinery).
+        write_s = est.io.seconds
+        posthoc = write_s + est.total_s
+        insitu = est.render.seconds + est.composite.seconds
+        rows.append([cores, posthoc, insitu, posthoc / insitu])
+        assert insitu < 0.2 * posthoc, "in situ must eliminate the dominant cost"
+
+    table = format_table(
+        ["cores", "store-then-read (s)", "in situ (s)", "speedup"], rows
+    )
+    write_result(
+        results_dir,
+        "future_insitu",
+        "Future work (Sec. VI): in-situ visualization vs the measured "
+        "store-then-read workflow\n(1120^3 / 1600^2, per visualized time "
+        "step; write priced like the read)\n\n" + table
+        + "\n\nfunctional check: coupled solver+renderer ran 4 steps / 2 "
+        f"frames at {GRID} on 8 ranks; sim {result.sim_seconds * 1e3:.1f} ms, "
+        f"halo {result.exchange_seconds * 1e3:.1f} ms, "
+        f"vis {result.vis_seconds * 1e3:.1f} ms (simulated)",
+    )

@@ -1,0 +1,52 @@
+"""Future-work experiment (Sec. VI): the I/O signature.
+
+"We are continuing to study the I/O signature, that is, the striping
+pattern across I/O servers, of this and other algorithms."
+
+For the 1120^3 read at 2K cores, maps every physical access of each
+I/O mode onto the 17-SAN x 8-server installation and reports balance:
+the reads stripe wide (all 136 servers engaged) and nearly evenly, so
+the bottleneck is per-access efficiency, not hot servers — consistent
+with the paper finding tuning (access shape), not restriping, to be
+the lever.
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis.reports import format_table
+from repro.analysis.signature import server_load_profile
+
+MODES = ("raw", "netcdf-tuned", "netcdf")
+CORES = 2048
+
+
+def test_future_io_signature(benchmark, results_dir, fm_1120):
+    def collect():
+        return {m: server_load_profile(fm_1120.io_report(m, CORES).plan) for m in MODES}
+
+    profiles = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    table = format_table(
+        ["mode", "physical (GB)", "servers used", "imbalance", "eff. parallelism"],
+        [
+            [
+                m,
+                profiles[m].total_bytes / 1e9,
+                profiles[m].servers_used,
+                profiles[m].imbalance,
+                profiles[m].effective_parallelism,
+            ]
+            for m in MODES
+        ],
+    )
+    for m in MODES:
+        assert profiles[m].servers_used == 136
+        assert profiles[m].imbalance < 1.6
+        assert profiles[m].effective_parallelism > 100
+
+    write_result(
+        results_dir,
+        "future_io_signature",
+        f"Future work: I/O signatures across the storage system "
+        f"(1120^3, {CORES} cores)\n\n" + table
+        + "\n\nper-SAN load, raw mode:\n" + profiles["raw"].render(width=40),
+    )

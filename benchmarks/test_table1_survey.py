@@ -1,0 +1,27 @@
+"""Table I — "Published parallel volume rendering system scales."
+
+Context, not an experiment: the literature survey the paper positions
+itself against, with this work's 90-billion-element / 32K-core row.
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis.reports import PUBLISHED_SCALES_TABLE1, format_table
+
+
+def test_table1_survey(benchmark, results_dir):
+    def build() -> str:
+        rows = [
+            [name, cpus, billions, image, year, ref]
+            for name, cpus, billions, image, year, ref in PUBLISHED_SCALES_TABLE1
+        ]
+        return "Table I: published parallel volume rendering system scales\n" + format_table(
+            ["dataset", "CPUs", "10^9 elements", "image", "year", "reference"], rows
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    ours = PUBLISHED_SCALES_TABLE1[-1]
+    others = PUBLISHED_SCALES_TABLE1[:-1]
+    # The paper's claim: largest in-core problem and system size to date.
+    assert ours[1] > max(r[1] for r in others)
+    assert ours[2] > max(r[2] for r in others)
+    write_result(results_dir, "table1_survey", table)

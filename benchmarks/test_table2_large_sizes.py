@@ -1,0 +1,67 @@
+"""Table II — "Volume rendering performance at large sizes."
+
+2240^3 (42 GB steps, 2048^2 images) and 4480^3 (335 GB, 4096^2) at 8K,
+16K, and 32K cores.  Paper values for reference:
+
+    grid    procs  total(s)  %I/O  %comp  read B/W
+    2240^3   8K     51.35    96.1   1.0   0.87 GB/s
+             16K    43.11    97.4   1.0   1.02 GB/s
+             32K    35.54    95.8   2.7   1.26 GB/s
+    4480^3   8K    316.41    96.1   0.5   1.13 GB/s
+             16K   272.63    96.8   1.5   1.30 GB/s
+             32K   220.79    95.6   2.6   1.63 GB/s
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis.reports import table2_rows
+
+CORES = (8192, 16384, 32768)
+
+PAPER = {
+    ("2240", 8192): (51.35, 96.1, 0.87e9),
+    ("2240", 16384): (43.11, 97.4, 1.02e9),
+    ("2240", 32768): (35.54, 95.8, 1.26e9),
+    ("4480", 8192): (316.41, 96.1, 1.13e9),
+    ("4480", 16384): (272.63, 96.8, 1.30e9),
+    ("4480", 32768): (220.79, 95.6, 1.63e9),
+}
+
+
+def test_table2_large_sizes(benchmark, results_dir, fm_2240, fm_4480):
+    def collect():
+        out = []
+        for name, fm in (("2240", fm_2240), ("4480", fm_4480)):
+            for cores in CORES:
+                out.append((name, cores, fm.estimate(cores)))
+        return out
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    for name, cores, est in rows:
+        paper_total, paper_pct_io, paper_bw = PAPER[(name, cores)]
+        # Totals within 2x of the paper's testbed; shapes tighter.
+        assert 0.5 < est.total_s / paper_total < 2.0, (name, cores, est.total_s)
+        assert est.pct_io > 88, "I/O must dominate (paper: ~96%)"
+        assert est.pct_composite < 5
+        assert 0.6 < est.read_bw_Bps / paper_bw < 1.8, (name, cores, est.read_bw_Bps)
+
+    # Within each dataset: total falls and bandwidth rises with cores.
+    for name in ("2240", "4480"):
+        ests = [e for n, _c, e in rows if n == name]
+        totals = [e.total_s for e in ests]
+        bws = [e.read_bw_Bps for e in ests]
+        assert totals == sorted(totals, reverse=True)
+        assert bws == sorted(bws)
+
+    table = table2_rows([e for _n, _c, e in rows])
+    comparison = "\n".join(
+        f"  {name}^3 @{cores:>5}: total {est.total_s:7.1f}s (paper {PAPER[(name, cores)][0]:7.2f}s), "
+        f"read {est.read_bw_Bps / 1e9:.2f} GB/s (paper {PAPER[(name, cores)][2] / 1e9:.2f})"
+        for name, cores, est in rows
+    )
+    write_result(
+        results_dir,
+        "table2_large_sizes",
+        "Table II: volume rendering performance at large sizes\n\n"
+        + table + "\n\npaper-vs-model:\n" + comparison,
+    )

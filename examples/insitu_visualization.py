@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""In-situ visualization: watch a simulation while it runs (Sec. VI).
+
+Couples the block-parallel advection-diffusion solver to the renderer
+on the same simulated partition: every other solver step is rendered
+straight from the resident blocks — no time step ever touches storage.
+Compares the measured in-loop cost against what writing and re-reading
+each visualized step would have cost.
+
+    python examples/insitu_visualization.py
+"""
+
+from repro.data.synthetic import supernova_field
+from repro.insitu import AdvectionDiffusionSim, InSituPipeline
+from repro.model import DATASETS, FrameModel
+from repro.render import Camera, TransferFunction
+from repro.render.image import image_to_ppm
+from repro.vmpi import MPIWorld
+
+GRID = (32, 32, 32)
+CORES = 8
+STEPS = 6
+RENDER_EVERY = 2
+
+
+def main() -> None:
+    sim = AdvectionDiffusionSim(GRID, omega=0.12, kappa=0.03)
+    camera = Camera.looking_at_volume(GRID, width=128, height=128, azimuth_deg=25)
+    transfer = TransferFunction.grayscale_ramp(0, 1.6)
+    initial = supernova_field(GRID, "density", seed=11)
+
+    pipeline = InSituPipeline(MPIWorld.for_cores(CORES), sim, camera, transfer, step=0.7)
+    result = pipeline.run(initial, steps=STEPS, render_every=RENDER_EVERY)
+
+    for i, frame in enumerate(result.frames):
+        name = f"insitu_frame{i}.ppm"
+        with open(name, "wb") as fh:
+            fh.write(image_to_ppm(frame, background=(0.02, 0.02, 0.05)))
+        print(f"wrote {name}")
+
+    print(f"\n{STEPS} solver steps, {len(result.frames)} frames, simulated seconds:")
+    print(f"  solver compute : {result.sim_seconds:.4f}")
+    print(f"  halo exchange  : {result.exchange_seconds:.4f}")
+    print(f"  visualization  : {result.vis_seconds:.4f}")
+    print(f"  I/O            : 0.0000  <- the point of in situ")
+
+    # What the paper's measured workflow would pay per visualized step
+    # at production scale (write + read of a 1120^3 variable at 16K cores):
+    fm = FrameModel(DATASETS["1120"])
+    est = fm.estimate(16384)
+    print(f"\nat paper scale (1120^3, 16K cores) each visualized step would cost")
+    print(f"  ~{2 * est.io.seconds:.1f} s of storage traffic the in-situ loop avoids")
+    print(f"  (vs {est.render.seconds + est.composite.seconds:.2f} s of actual visualization work)")
+
+
+if __name__ == "__main__":
+    main()

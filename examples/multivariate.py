@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Multivariate visualization: two fields, one collective read.
+
+Colours the X velocity, but only where the density field says there is
+material — the two-field classification the paper's Sec. V points at.
+Both variables come out of the netCDF time step in a single collective
+read, whose data density is near 1.0 even for the record layout that
+makes single-variable reads so expensive (compare Fig. 10).
+
+    python examples/multivariate.py
+"""
+
+from repro.data import SupernovaModel, write_vh1_netcdf
+from repro.pio import IOHints, NetCDFHandle, collective_read_blocks_multi, plan_read_blocks
+from repro.render import (
+    BlockDecomposition,
+    Camera,
+    MultivariateTransfer,
+    TransferFunction,
+    VolumeBlock,
+    blank_image,
+    composite_over,
+    image_to_ppm,
+    render_block_multivar,
+)
+
+GRID = (40, 40, 40)
+CORES = 8
+
+
+def main() -> None:
+    model = SupernovaModel(GRID, seed=1530, time=1.0)
+    nc = write_vh1_netcdf(model)
+    handles = [NetCDFHandle(nc, "vx"), NetCDFHandle(nc, "density")]
+    hints = IOHints(cb_buffer_size=1 << 16, cb_nodes=4)
+
+    # One collective read delivers both variables to every rank's block.
+    dec = BlockDecomposition(GRID, CORES)
+    blocks = []
+    ghost = []
+    for b in dec.blocks():
+        rs, rc, gl = b.ghost_read(GRID, ghost=1)
+        blocks.append((rs, rc))
+        ghost.append(gl)
+    per_rank, report = collective_read_blocks_multi(handles, blocks, hints)
+    single = plan_read_blocks(handles[0], nprocs=CORES, hints=hints)
+    print(f"combined read: density {report.density:.3f} "
+          f"(single-variable read of the same file: {single.density:.3f})")
+
+    cam = Camera.looking_at_volume(GRID, width=144, height=144, azimuth_deg=30)
+    primary = TransferFunction.supernova(*model.value_range("vx"))
+    lo, hi = model.value_range("density")
+    mvtf = MultivariateTransfer(primary, gate_lo=lo + 0.35 * (hi - lo), gate_hi=hi)
+
+    partials = []
+    for b, vars_, gl in zip(dec.blocks(), per_rank, ghost):
+        p_blk = VolumeBlock(vars_["vx"], GRID, b.start, b.count, gl)
+        m_blk = VolumeBlock(vars_["density"], GRID, b.start, b.count, gl)
+        partial = render_block_multivar(cam, p_blk, m_blk, mvtf, step=0.7)
+        if partial is not None:
+            partials.append(partial)
+    image = composite_over(blank_image(cam.width, cam.height), partials)
+
+    with open("multivariate.ppm", "wb") as fh:
+        fh.write(image_to_ppm(image, background=(0.02, 0.02, 0.05)))
+    covered = float((image[..., 3] > 0.05).mean())
+    print(f"wrote multivariate.ppm ({100 * covered:.1f}% of pixels show material)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""The whole scaling study, exported for your own plots.
+
+Runs the paper's Fig. 3 + Fig. 5 sweeps through the calibrated model
+and writes ``scaling_study.csv`` / ``scaling_study.json`` — every core
+count, dataset, and stage time in machine-readable form — plus the
+terminal log-log chart.
+
+    python examples/scaling_study.py
+"""
+
+from repro.analysis.asciiplot import ascii_loglog
+from repro.analysis.export import estimates_to_csv, estimates_to_json, sweep_cores
+from repro.model import DATASETS, FrameModel
+
+SWEEPS = {
+    "1120": (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768),
+    "2240": (2048, 4096, 8192, 16384, 32768),
+    "4480": (2048, 4096, 8192, 16384, 32768),
+}
+
+
+def main() -> None:
+    all_estimates = []
+    curves = {}
+    for name, cores in SWEEPS.items():
+        fm = FrameModel(DATASETS[name])
+        ests = sweep_cores(fm, cores)
+        all_estimates.extend(ests)
+        curves[f"{name}^3"] = (list(cores), [e.total_s for e in ests])
+
+    print(ascii_loglog(curves, xlabel="cores", ylabel="total frame time (s)"))
+
+    with open("scaling_study.csv", "w") as fh:
+        fh.write(estimates_to_csv(all_estimates))
+    with open("scaling_study.json", "w") as fh:
+        fh.write(estimates_to_json(all_estimates))
+    print(f"\nwrote scaling_study.csv / scaling_study.json "
+          f"({len(all_estimates)} configurations)")
+
+    best = min((e for e in all_estimates if e.dataset.name == "1120"), key=lambda e: e.total_s)
+    print(f"best 1120^3 frame: {best.total_s:.2f} s at {best.cores} cores "
+          "(paper: 5.9 s at 16384)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's Sec. IV-B workflow: upsample, then visualize.
+
+"Because data in the desired scale do not exist ... we upsampled the
+existing supernova raw data format."  This example upsamples a time
+step 2x in parallel (each rank produces one output block from its
+input preimage), writes the result as a raw volume, and renders both
+resolutions — the images should look the same, which is the point of
+upsampling as a scaling methodology.
+
+    python examples/upsample_and_render.py
+"""
+
+import numpy as np
+
+from repro.core import ParallelVolumeRenderer
+from repro.data import SupernovaModel
+from repro.data.upsample import (
+    input_region_for_output_block,
+    upsample_parallel_program,
+)
+from repro.formats.raw import RawVolume
+from repro.pio import RawHandle
+from repro.render import BlockDecomposition, Camera, TransferFunction
+from repro.render.image import image_to_ppm
+from repro.vmpi import MPIWorld
+
+GRID = (24, 24, 24)
+FACTOR = 2
+CORES = 8
+
+
+def main() -> None:
+    model = SupernovaModel(GRID, seed=4, time=1.2)
+    data = model.field("vx")
+
+    # --- Parallel upsampling (a separate preprocessing job, like the paper's).
+    out_shape = tuple(s * FACTOR for s in GRID)
+    dec = BlockDecomposition(out_shape, CORES)
+    regions, inputs = [], []
+    for b in dec.blocks():
+        region = input_region_for_output_block(b.start, b.count, GRID, out_shape)
+        regions.append(region)
+        (rs, rc) = region
+        inputs.append(data[rs[0]:rs[0]+rc[0], rs[1]:rs[1]+rc[1], rs[2]:rs[2]+rc[2]])
+    res = MPIWorld.for_cores(CORES).run(
+        upsample_parallel_program, inputs, regions, GRID, FACTOR
+    )
+    upsampled = np.empty(out_shape, dtype=np.float32)
+    for b, block_out in zip(dec.blocks(), res.values):
+        sl = tuple(slice(s, s + c) for s, c in zip(b.start, b.count))
+        upsampled[sl] = block_out
+    print(f"upsampled {GRID} -> {out_shape} on {CORES} ranks "
+          f"(simulated {res.elapsed_s * 1e3:.1f} ms)")
+
+    # --- Render both resolutions with matched cameras.
+    tf = TransferFunction.supernova(*model.value_range("vx"))
+    for tag, volume, step in (("orig", data, 0.6), ("up2x", upsampled, 1.2)):
+        cam = Camera.looking_at_volume(volume.shape, width=128, height=128, azimuth_deg=35)
+        renderer = ParallelVolumeRenderer(MPIWorld.for_cores(CORES), cam, tf, step=step)
+        frame = renderer.render_frame(RawHandle(RawVolume.write(volume)))
+        name = f"upsample_{tag}.ppm"
+        with open(name, "wb") as fh:
+            fh.write(image_to_ppm(frame.image, background=(0.02, 0.02, 0.05)))
+        print(f"  {tag}: rendered {volume.shape} in {frame.timing.total_s:.2f} s "
+              f"(simulated) -> {name}")
+    print("the two images should look alike: 'resulting images are similar "
+          "to those from the original data' (Sec. IV-B)")
+
+
+if __name__ == "__main__":
+    main()

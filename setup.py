@@ -1,0 +1,9 @@
+"""Legacy shim so editable installs work offline (no `wheel` package).
+
+`pip install -e .` needs the `wheel` distribution to build a PEP 660
+editable wheel; on machines without it, `python setup.py develop`
+installs the same thing through the legacy path.
+"""
+from setuptools import setup
+
+setup()

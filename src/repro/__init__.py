@@ -1,0 +1,45 @@
+"""repro — End-to-end parallel volume rendering on a simulated IBM Blue Gene/P.
+
+A from-scratch reproduction of Peterka, Yu, Ross, Ma & Latham,
+"End-to-End Study of Parallel Volume Rendering on the IBM Blue Gene/P"
+(ICPP 2009): the sort-last ray-casting volume renderer, its direct-send
+compositing stage with the paper's compositor-limiting optimization,
+the collective-I/O stack it reads time steps through (raw, netCDF
+record/non-record, HDF5-like formats), and the Blue Gene/P machine,
+network, and storage substrates it all runs on.
+
+Typical entry points:
+
+* :class:`repro.core.ParallelVolumeRenderer` — the end-to-end pipeline.
+* :class:`repro.vmpi.MPIWorld` — run your own SPMD coroutine programs.
+* :mod:`repro.model` — the calibrated analytic performance model used
+  to regenerate the paper's tables and figures at 8K-32K cores.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]
+
+# Convenience re-exports of the most-used entry points.
+from repro.core import FrameTiming, ParallelVolumeRenderer, render_time_series  # noqa: E402
+from repro.data import SupernovaModel, write_vh1_netcdf  # noqa: E402
+from repro.model import DATASETS, FrameModel  # noqa: E402
+from repro.pio import IOHints, NetCDFHandle, RawHandle  # noqa: E402
+from repro.render import Camera, TransferFunction  # noqa: E402
+from repro.vmpi import MPIWorld  # noqa: E402
+
+__all__ += [  # noqa: PLE0604
+    "FrameTiming",
+    "ParallelVolumeRenderer",
+    "render_time_series",
+    "SupernovaModel",
+    "write_vh1_netcdf",
+    "DATASETS",
+    "FrameModel",
+    "IOHints",
+    "NetCDFHandle",
+    "RawHandle",
+    "Camera",
+    "TransferFunction",
+    "MPIWorld",
+]

@@ -1,0 +1,70 @@
+"""Terminal plots: log-log line charts and horizontal bars."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigError
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_loglog(
+    series: dict[str, tuple[list[float], list[float]]],
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Plot named (xs, ys) series on log-log axes as text.
+
+    Each series gets its own marker; the legend maps markers to names.
+    Matches the presentation of the paper's Figs. 3, 5, and 7.
+    """
+    if not series:
+        raise ConfigError("nothing to plot")
+    all_x = np.concatenate([np.asarray(xs, float) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, float) for _, ys in series.values()])
+    if np.any(all_x <= 0) or np.any(all_y <= 0):
+        raise ConfigError("log-log plots need strictly positive data")
+    lx0, lx1 = np.log10(all_x.min()), np.log10(all_x.max())
+    ly0, ly1 = np.log10(all_y.min()), np.log10(all_y.max())
+    lx1 = lx1 if lx1 > lx0 else lx0 + 1.0
+    ly1 = ly1 if ly1 > ly0 else ly0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, (xs, ys)) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in zip(xs, ys):
+            cx = int(round((np.log10(x) - lx0) / (lx1 - lx0) * (width - 1)))
+            cy = int(round((np.log10(y) - ly0) / (ly1 - ly0) * (height - 1)))
+            grid[height - 1 - cy][cx] = mark
+    lines = ["+" + "-" * width + "+"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f" x: {xlabel} [{all_x.min():g} .. {all_x.max():g}]   "
+        f"y: {ylabel} [{all_y.min():.3g} .. {all_y.max():.3g}]  (log-log)"
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    rows: list[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Labelled horizontal bars, scaled to the longest value."""
+    if not rows:
+        raise ConfigError("nothing to plot")
+    peak = max(v for _, v in rows)
+    label_w = max(len(label) for label, _ in rows)
+    out = []
+    for label, value in rows:
+        n = int(round(value / peak * width)) if peak > 0 else 0
+        out.append(f"{label:>{label_w}} | {'#' * n}{' ' * (width - n)} {value:.3g}{unit}")
+    return "\n".join(out)

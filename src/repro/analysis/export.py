@@ -1,0 +1,74 @@
+"""Machine-readable exports of experiment results.
+
+The text artifacts in ``benchmarks/results/`` are for humans; these
+converters emit JSON-able dicts (and CSV rows) so downstream analysis
+— plotting the sweeps, diffing calibrations — never scrapes tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.model.pipeline import FrameEstimate
+from repro.utils.errors import ConfigError
+
+
+def estimate_to_dict(est: FrameEstimate) -> dict[str, Any]:
+    """Flatten one frame estimate to plain JSON-able types."""
+    return {
+        "dataset": est.dataset.name,
+        "grid": est.dataset.grid,
+        "image": est.dataset.image,
+        "cores": est.cores,
+        "io_mode": est.io_mode,
+        "num_compositors": est.num_compositors,
+        "io_s": est.io.seconds,
+        "render_s": est.render.seconds,
+        "composite_s": est.composite.seconds,
+        "total_s": est.total_s,
+        "pct_io": est.pct_io,
+        "pct_render": est.pct_render,
+        "pct_composite": est.pct_composite,
+        "read_bw_Bps": est.read_bw_Bps,
+        "io_density": est.io.density,
+        "io_accesses": est.io.num_accesses,
+        "composite_messages": est.composite.num_messages,
+        "composite_mean_msg_bytes": est.composite.mean_message_bytes,
+    }
+
+
+def estimates_to_json(estimates: Iterable[FrameEstimate], indent: int = 2) -> str:
+    """A JSON array of flattened estimates."""
+    return json.dumps([estimate_to_dict(e) for e in estimates], indent=indent)
+
+
+def estimates_to_csv(estimates: Sequence[FrameEstimate]) -> str:
+    """CSV with a header row; column order matches estimate_to_dict."""
+    rows = [estimate_to_dict(e) for e in estimates]
+    if not rows:
+        raise ConfigError("no estimates to export")
+    headers = list(rows[0])
+    lines = [",".join(headers)]
+    for r in rows:
+        lines.append(",".join(_csv_cell(r[h]) for h in headers))
+    return "\n".join(lines) + "\n"
+
+
+def _csv_cell(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def sweep_cores(
+    model,
+    cores: Sequence[int],
+    io_mode: str = "raw",
+    policy=None,
+) -> list[FrameEstimate]:
+    """Evaluate a frame model across a core sweep (the Fig. 3/5 shape)."""
+    from repro.compositing.policy import PAPER_POLICY
+
+    policy = policy or PAPER_POLICY
+    return [model.estimate(c, io_mode=io_mode, policy=policy) for c in cores]

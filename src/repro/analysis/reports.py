@@ -1,0 +1,101 @@
+"""Table formatters for the experiment benches."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.model.pipeline import FrameEstimate
+from repro.utils.units import fmt_bandwidth
+
+#: The paper's Table I — published parallel volume rendering scales.
+#: (dataset, CPUs, billions of elements, image size, year, reference)
+PUBLISHED_SCALES_TABLE1: list[tuple[str, int, float, str, int, str]] = [
+    ("Fire", 64, 14.0, "800^2", 2007, "[3] Moreland et al."),
+    ("Blast Wave", 128, 27.0, "1024^2", 2006, "[4] Childs et al."),
+    ("Taylor-Raleigh", 128, 1.0, "1024^2", 2001, "[5] Kniss et al."),
+    ("Molecular Dynamics", 256, 0.14, "1024^2", 2006, "[4] Childs et al."),
+    ("Earthquake", 2048, 1.2, "1024^2", 2007, "[1] Ma et al."),
+    ("Supernova", 4096, 0.65, "1600^2", 2008, "[2] Peterka et al."),
+    ("Supernova (this work)", 32768, 90.0, "4096^2", 2009, "this paper"),
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def fig3_rows(estimates: dict[int, tuple[FrameEstimate, FrameEstimate]]) -> str:
+    """Fig. 3's data as a table: cores -> component and total times.
+
+    ``estimates[cores] = (improved, original)``.
+    """
+    rows = []
+    for cores in sorted(estimates):
+        imp, orig = estimates[cores]
+        rows.append(
+            [
+                cores,
+                imp.io.seconds,
+                imp.render.seconds,
+                orig.composite.seconds,
+                imp.composite.seconds,
+                imp.total_s,
+            ]
+        )
+    return format_table(
+        ["cores", "raw I/O (s)", "render (s)", "orig comp (s)", "impr comp (s)", "total (s)"],
+        rows,
+    )
+
+
+def table2_rows(estimates: list[FrameEstimate]) -> str:
+    """Table II: large-size detail rows."""
+    rows = []
+    for e in estimates:
+        rows.append(
+            [
+                f"{e.dataset.grid}^3",
+                f"{e.dataset.volume_bytes / 1e9:.0f}",
+                f"{e.dataset.image}^2",
+                e.cores,
+                e.total_s,
+                e.pct_io,
+                e.pct_composite,
+                fmt_bandwidth(e.read_bw_Bps),
+            ]
+        )
+    return format_table(
+        ["grid", "step (GB)", "image", "procs", "total (s)", "% I/O", "% comp", "read B/W"],
+        rows,
+    )
+
+
+def time_distribution_rows(estimates: dict[int, FrameEstimate], width: int = 40) -> str:
+    """Fig. 6: stacked percentage columns as text bars.
+
+    For each core count, a bar of I (I/O), R (render), C (composite)
+    characters proportional to each stage's share of frame time.
+    """
+    lines = [f"{'cores':>6}  {'0%':<4}{'time distribution':^{width - 8}}{'100%':>4}"]
+    for cores in sorted(estimates):
+        e = estimates[cores]
+        n_io = int(round(e.pct_io / 100 * width))
+        n_r = int(round(e.pct_render / 100 * width))
+        n_c = max(width - n_io - n_r, 0)
+        lines.append(f"{cores:>6}  {'I' * n_io}{'R' * n_r}{'C' * n_c}")
+    lines.append(f"{'':>6}  I = I/O, R = render, C = composite")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""I/O signatures: how an access plan lands across the file servers.
+
+"We are continuing to study the I/O signature, that is, the striping
+pattern across I/O servers, of this and other algorithms." (Sec. VI)
+
+Given a physical access plan and a striping configuration, this module
+computes each server's byte load, the imbalance that determines how far
+from the aggregate peak the read can possibly run, and a per-SAN
+rollup matching the installation's Fig. 2 hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pio.twophase import TwoPhasePlan
+from repro.storage.stripedfs import StorageSystem, StripeConfig
+from repro.storage.store import VirtualStore
+from repro.storage.stripedfs import StripedFile
+from repro.utils.errors import ConfigError
+from repro.utils.units import fmt_bytes
+
+
+@dataclass(frozen=True)
+class ServerLoadProfile:
+    """Per-server byte loads for one collective operation."""
+
+    bytes_per_server: np.ndarray
+    stripe: StripeConfig
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_per_server.sum())
+
+    @property
+    def servers_used(self) -> int:
+        return int(np.count_nonzero(self.bytes_per_server))
+
+    @property
+    def imbalance(self) -> float:
+        """max load / mean nonzero load; 1.0 is a perfect signature."""
+        nz = self.bytes_per_server[self.bytes_per_server > 0]
+        if nz.size == 0:
+            return 1.0
+        return float(nz.max() / nz.mean())
+
+    @property
+    def effective_parallelism(self) -> float:
+        """total / max: how many servers' worth of bandwidth the
+        pattern can actually exploit."""
+        peak = self.bytes_per_server.max()
+        return float(self.total_bytes / peak) if peak else 0.0
+
+    def per_san_bytes(self, system: StorageSystem | None = None) -> np.ndarray:
+        system = system or StorageSystem()
+        if self.stripe.num_servers != system.num_servers:
+            raise ConfigError(
+                f"profile has {self.stripe.num_servers} servers; system has "
+                f"{system.num_servers}"
+            )
+        return self.bytes_per_server.reshape(system.num_sans, system.servers_per_san).sum(axis=1)
+
+    def render(self, width: int = 50) -> str:
+        """Per-SAN load bars (the Fig. 2 hierarchy, loaded)."""
+        sans = self.per_san_bytes()
+        peak = max(sans.max(), 1)
+        lines = []
+        for i, b in enumerate(sans):
+            n = int(round(b / peak * width))
+            lines.append(f"SAN {i:2d} |{'#' * n}{' ' * (width - n)}| {fmt_bytes(int(b))}")
+        return "\n".join(lines)
+
+
+def server_load_profile(plan: TwoPhasePlan, stripe: StripeConfig | None = None) -> ServerLoadProfile:
+    """Map a plan's physical accesses to per-server byte loads."""
+    stripe = stripe or StripeConfig()
+    off, ln = plan.offsets_lengths()
+    if off.size == 0:
+        return ServerLoadProfile(np.zeros(stripe.num_servers, dtype=np.int64), stripe)
+    end = int((off + ln).max())
+    striped = StripedFile(VirtualStore(end), stripe)
+    return ServerLoadProfile(striped.per_server_bytes(off, ln), stripe)

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the tour a new user takes:
+
+* ``render``    — synthesize a supernova time step and render it end to
+  end on a simulated partition, writing a PPM.
+* ``model``     — price a paper-scale frame (any dataset x cores x I/O
+  mode) and print the Fig. 3/Table II style breakdown.
+* ``scorecard`` — the calibration-vs-paper fidelity table.
+* ``inventory`` — the modeled machine and storage system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.utils.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "End-to-end parallel volume rendering on a simulated IBM Blue "
+            "Gene/P (Peterka et al., ICPP 2009 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_render = sub.add_parser("render", help="render a synthetic supernova frame")
+    p_render.add_argument("--grid", type=int, default=32, help="cubic grid edge (default 32)")
+    p_render.add_argument("--cores", type=int, default=16, help="simulated cores (default 16)")
+    p_render.add_argument("--image", type=int, default=128, help="square image edge (default 128)")
+    p_render.add_argument("--variable", default="vx", help="field to render (default vx)")
+    p_render.add_argument(
+        "--format", default="netcdf", choices=("netcdf", "raw", "h5lite"),
+        help="time-step file format (default netcdf)",
+    )
+    p_render.add_argument("--seed", type=int, default=1530)
+    p_render.add_argument("--time", type=float, default=0.8, help="simulation epoch")
+    p_render.add_argument("--azimuth", type=float, default=35.0)
+    p_render.add_argument("--elevation", type=float, default=20.0)
+    p_render.add_argument("--step", type=float, default=0.7, help="ray sampling step")
+    p_render.add_argument("--out", default="frame.ppm", help="output PPM path")
+
+    p_model = sub.add_parser("model", help="price a paper-scale frame")
+    p_model.add_argument("--dataset", default="1120", choices=("1120", "2240", "4480"))
+    p_model.add_argument("--cores", type=int, default=16384)
+    p_model.add_argument(
+        "--io-mode", default="raw",
+        choices=("raw", "netcdf", "netcdf-tuned", "netcdf64", "h5lite"),
+    )
+    p_model.add_argument(
+        "--original-compositing", action="store_true",
+        help="use m = n compositors (the pre-improvement scheme)",
+    )
+
+    sub.add_parser("scorecard", help="fidelity of the model vs the paper's numbers")
+    sub.add_parser("inventory", help="describe the modeled machine and storage")
+    return parser
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from repro.core import ParallelVolumeRenderer
+    from repro.data import SupernovaModel, extract_variable_raw, write_vh1_h5lite, write_vh1_netcdf
+    from repro.pio import H5LiteHandle, IOHints, NetCDFHandle, RawHandle
+    from repro.render import Camera, TransferFunction
+    from repro.render.image import image_to_ppm
+    from repro.vmpi import MPIWorld
+
+    grid = (args.grid,) * 3
+    model = SupernovaModel(grid, seed=args.seed, time=args.time)
+    if args.format == "netcdf":
+        handle = NetCDFHandle(write_vh1_netcdf(model), args.variable)
+    elif args.format == "raw":
+        handle = RawHandle(extract_variable_raw(model, args.variable))
+    else:
+        handle = H5LiteHandle(write_vh1_h5lite(model), args.variable)
+    camera = Camera.looking_at_volume(
+        grid, width=args.image, height=args.image,
+        azimuth_deg=args.azimuth, elevation_deg=args.elevation,
+    )
+    transfer = TransferFunction.supernova(*model.value_range(args.variable))
+    renderer = ParallelVolumeRenderer(
+        MPIWorld.for_cores(args.cores), camera, transfer, step=args.step,
+        hints=IOHints(cb_buffer_size=1 << 17, cb_nodes=max(args.cores // 4, 1)),
+    )
+    result = renderer.render_frame(handle)
+    with open(args.out, "wb") as fh:
+        fh.write(image_to_ppm(result.image, background=(0.02, 0.02, 0.05)))
+    print(f"{result.timing}")
+    print(
+        f"I/O density {result.io_report.density:.3f}, "
+        f"{result.num_compositors} compositors, "
+        f"{result.schedule.total_messages} compositing messages"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    from repro.model import DATASETS, FrameModel
+    from repro.utils.units import fmt_bandwidth
+
+    fm = FrameModel(DATASETS[args.dataset])
+    if args.original_compositing:
+        est = fm.estimate_original(args.cores, io_mode=args.io_mode)
+    else:
+        est = fm.estimate(args.cores, io_mode=args.io_mode)
+    d = est.dataset
+    print(
+        f"{d.grid}^3 elements, {d.image}^2 pixels, {args.cores} cores, "
+        f"{args.io_mode} I/O, m = {est.num_compositors} compositors"
+    )
+    print(f"  I/O        {est.io.seconds:10.2f} s  ({est.pct_io:5.1f}%)  "
+          f"{fmt_bandwidth(est.read_bw_Bps)} effective")
+    print(f"  render     {est.render.seconds:10.2f} s  ({est.pct_render:5.1f}%)")
+    print(f"  composite  {est.composite.seconds:10.3f} s  ({est.pct_composite:5.1f}%)  "
+          f"{est.composite.num_messages} messages")
+    print(f"  total      {est.total_s:10.2f} s")
+    return 0
+
+
+def cmd_scorecard(_args: argparse.Namespace) -> int:
+    from repro.model.validation import fidelity_report
+
+    report = fidelity_report()
+    print(report.table())
+    print(
+        f"\nmean |log2 ratio| = {report.mean_log2_error:.3f}, "
+        f"{100 * report.within_factor_2:.0f}% of anchors within 2x"
+    )
+    return 0
+
+
+def cmd_inventory(_args: argparse.Namespace) -> int:
+    from repro.machine.partition import Partition
+    from repro.machine.specs import BGP_ALCF
+    from repro.storage.stripedfs import StorageSystem
+    from repro.utils.units import fmt_bytes
+
+    m = BGP_ALCF
+    print(f"{m.name}: {m.racks} racks x {m.nodes_per_rack} nodes "
+          f"({m.total_cores} cores, {fmt_bytes(m.total_ram_bytes)} RAM)")
+    print(f"  node: {m.node.cores} cores @ {m.node.clock_hz / 1e6:.0f} MHz, "
+          f"{fmt_bytes(m.node.ram_bytes)}")
+    print(f"  torus link: {m.torus_link.bandwidth_Bps * 8 / 1e9:.1f} Gb/s, "
+          f"{m.torus_link.latency_s * 1e6:.0f} us; tree link: "
+          f"{m.tree_link.bandwidth_Bps * 8 / 1e9:.1f} Gb/s")
+    print("  storage: " + StorageSystem().describe())
+    print("  standard partitions:")
+    for cores in (64, 512, 2048, 8192, 32768):
+        print(f"    {str(Partition.for_cores(cores))}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "render": cmd_render,
+        "model": cmd_model,
+        "scorecard": cmd_scorecard,
+        "inventory": cmd_inventory,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into head/less that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

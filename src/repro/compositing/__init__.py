@@ -1,0 +1,49 @@
+"""Sort-last image compositing (Sec. III-B3 of the paper).
+
+* :mod:`repro.compositing.tiles` — the final image divided into tiles,
+  one per compositor.
+* :mod:`repro.compositing.schedule` — the static message schedule:
+  which renderer sends which footprint piece to which compositor.
+  "The number of compositors is known at initialization time, and the
+  schedule of messages is built around this number from the beginning."
+* :mod:`repro.compositing.directsend` — direct-send compositing with
+  the paper's key generalization: n renderers, m <= n compositors.
+* :mod:`repro.compositing.policy` — how m is chosen from n, including
+  the paper's empirical schedule (1K compositors for 1K-4K renderers,
+  2K beyond).
+* :mod:`repro.compositing.binaryswap` — the binary-swap baseline
+  (Ma et al.), for the ablation benches.
+* :mod:`repro.compositing.serial` — gather-to-root baseline and the
+  correctness oracle.
+"""
+
+from repro.compositing.tiles import TileDecomposition
+from repro.compositing.schedule import (
+    CompositeMessage,
+    CompositeSchedule,
+    build_schedule,
+    schedule_from_geometry,
+)
+from repro.compositing.policy import CompositorPolicy, PAPER_POLICY, IDENTITY_POLICY
+from repro.compositing.directsend import direct_send_compose, assemble_final_image
+from repro.compositing.binaryswap import binary_swap_compose
+from repro.compositing.radixk import radix_k_compose, radix_k_gather, default_radices
+from repro.compositing.serial import serial_compose
+
+__all__ = [
+    "TileDecomposition",
+    "CompositeMessage",
+    "CompositeSchedule",
+    "build_schedule",
+    "schedule_from_geometry",
+    "CompositorPolicy",
+    "PAPER_POLICY",
+    "IDENTITY_POLICY",
+    "direct_send_compose",
+    "assemble_final_image",
+    "binary_swap_compose",
+    "radix_k_compose",
+    "radix_k_gather",
+    "default_radices",
+    "serial_compose",
+]

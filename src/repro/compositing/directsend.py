@@ -1,0 +1,104 @@
+"""Direct-send compositing with n renderers and m <= n compositors.
+
+The algorithm (Sec. III-B3): each renderer crops its partial image
+against every tile its footprint overlaps and sends the piece to that
+tile's compositor.  Compositors — the first m ranks, which also render
+— receive the pieces the static schedule predicts, sort them by block
+depth, and blend front to back.  "The reduction from n to m occurs
+automatically as part of the compositing step and incurs no additional
+cost."
+
+Every rank runs the same generator; the schedule tells it what to send
+and (if it owns a tile) what to expect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.compositing.schedule import CompositeSchedule
+from repro.render.image import PartialImage, blank_image, composite_over
+
+COMPOSITE_TAG = 7001
+GATHER_TAG = 7002
+
+
+def direct_send_compose(
+    ctx: Any,
+    partial: PartialImage | None,
+    schedule: CompositeSchedule,
+    compress: bool = False,
+) -> Generator:
+    """One compositing phase; returns this rank's finished tile (or None).
+
+    The caller must pass the same schedule on every rank.  Ranks whose
+    block fell entirely off screen pass ``partial=None``; the schedule
+    already contains no messages from them.  ``compress`` trims each
+    piece to its active-pixel bounding box before sending (the
+    IceT-style optimization; same image, smaller messages).
+    """
+    outgoing = schedule.outgoing(ctx.rank)
+    reqs = []
+    for msg in outgoing:
+        # A block can be scheduled (its AABB projects onto the tile) yet
+        # render to nothing (fully transparent); send an empty piece so
+        # the compositor's expected count still balances.
+        if partial is None:
+            piece = PartialImage((0, 0, 0, 0), np.zeros((0, 0, 4), np.float32), float("inf"))
+        else:
+            piece = partial.crop(schedule.tiles.tile(msg.tile))
+            if compress:
+                piece = piece.trimmed()
+        dest = schedule.compositor_rank(msg.tile)
+        if dest == ctx.rank:
+            continue  # local contribution, no wire transfer
+        reqs.append(ctx.isend(piece, dest, COMPOSITE_TAG))
+
+    my_tile = ctx.rank if ctx.rank < schedule.num_compositors else None
+    result = None
+    if my_tile is not None:
+        expected = [m for m in schedule.incoming(my_tile) if m.src != ctx.rank]
+        pieces: list[PartialImage] = []
+        if partial is not None and any(
+            m.src == ctx.rank for m in schedule.incoming(my_tile)
+        ):
+            pieces.append(partial.crop(schedule.tiles.tile(my_tile)))
+        for _ in range(len(expected)):
+            piece = yield from ctx.recv(tag=COMPOSITE_TAG)
+            pieces.append(piece)
+        x0, y0, w, h = schedule.tiles.tile(my_tile)
+        canvas = blank_image(w, h)
+        result = composite_over(canvas, pieces, canvas_origin=(x0, y0))
+    yield from ctx.waitall(reqs)
+    return result
+
+
+def assemble_final_image(
+    ctx: Any,
+    tile_image: np.ndarray | None,
+    schedule: CompositeSchedule,
+    root: int = 0,
+) -> Generator:
+    """Collect finished tiles at ``root``; returns the full canvas there.
+
+    In production display pipelines tiles stream straight to the
+    display; the gather here exists so tests and examples can check
+    whole images.
+    """
+    payload = None
+    if ctx.rank < schedule.num_compositors:
+        payload = (schedule.tiles.tile(ctx.rank), tile_image)
+    gathered = yield from ctx.gather(payload, root=root)
+    if ctx.rank != root:
+        return None
+    tiles = schedule.tiles
+    canvas = blank_image(tiles.width, tiles.height)
+    for item in gathered:
+        if item is None:
+            continue
+        (x0, y0, w, h), img = item
+        if img is not None:
+            canvas[y0 : y0 + h, x0 : x0 + w] = img
+    return canvas

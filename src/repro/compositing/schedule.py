@@ -1,0 +1,136 @@
+"""The static direct-send message schedule.
+
+Every rank can compute the full schedule deterministically from the
+block decomposition, the camera, and the tile decomposition — no
+negotiation traffic.  The same schedule drives the functional SPMD
+compositing (real pixels) and the analytic performance model (sizes
+only), which is what makes the two modes comparable.
+
+Pixel payload sizing: 4 channels x 4-byte float per pixel (premultiplied
+RGBA float32), plus a small envelope per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compositing.tiles import Rect, TileDecomposition
+from repro.render.camera import Camera
+from repro.render.decomposition import BlockDecomposition
+from repro.utils.errors import ConfigError
+
+BYTES_PER_PIXEL = 16  # 4 x float32, premultiplied RGBA
+MESSAGE_ENVELOPE_BYTES = 64  # rect, depth, tags
+
+
+@dataclass(frozen=True)
+class CompositeMessage:
+    """One renderer-to-compositor transfer."""
+
+    src: int  # renderer rank
+    tile: int  # tile index == compositor slot
+    pixels: int  # overlap area
+
+    @property
+    def nbytes(self) -> int:
+        return self.pixels * BYTES_PER_PIXEL + MESSAGE_ENVELOPE_BYTES
+
+
+@dataclass
+class CompositeSchedule:
+    """All messages of one compositing phase, with per-tile indexes."""
+
+    num_renderers: int
+    num_compositors: int
+    tiles: TileDecomposition
+    messages: list[CompositeMessage] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_compositors > self.num_renderers:
+            raise ConfigError(
+                f"m={self.num_compositors} compositors cannot exceed "
+                f"n={self.num_renderers} renderers (compositors render too)"
+            )
+        self._by_tile: dict[int, list[CompositeMessage]] = {}
+        self._by_src: dict[int, list[CompositeMessage]] = {}
+        for msg in self.messages:
+            self._by_tile.setdefault(msg.tile, []).append(msg)
+            self._by_src.setdefault(msg.src, []).append(msg)
+
+    def incoming(self, tile: int) -> list[CompositeMessage]:
+        return self._by_tile.get(tile, [])
+
+    def outgoing(self, src: int) -> list[CompositeMessage]:
+        return self._by_src.get(src, [])
+
+    def compositor_rank(self, tile: int) -> int:
+        """Tile t is owned by rank t (compositors are the first m ranks)."""
+        if not (0 <= tile < self.num_compositors):
+            raise ConfigError(f"tile {tile} out of range")
+        return tile
+
+    @property
+    def total_messages(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    def message_sizes(self) -> np.ndarray:
+        return np.array([m.nbytes for m in self.messages], dtype=np.int64)
+
+    @property
+    def mean_message_bytes(self) -> float:
+        return self.total_bytes / self.total_messages if self.messages else 0.0
+
+
+def build_schedule(
+    footprints: list[Rect | None],
+    tiles: TileDecomposition,
+    num_compositors: int,
+) -> CompositeSchedule:
+    """Schedule from per-renderer footprints (None = block off screen)."""
+    msgs: list[CompositeMessage] = []
+    for src, rect in enumerate(footprints):
+        if rect is None:
+            continue
+        for t in tiles.tiles_overlapping(rect):
+            if t >= num_compositors:
+                raise ConfigError("tile decomposition larger than compositor count")
+            area = tiles.overlap_area(rect, t)
+            if area:
+                msgs.append(CompositeMessage(src, t, area))
+    return CompositeSchedule(len(footprints), num_compositors, tiles, msgs)
+
+
+def schedule_from_geometry(
+    decomposition: BlockDecomposition,
+    camera: Camera,
+    num_compositors: int,
+    strips: bool = False,
+) -> CompositeSchedule:
+    """Schedule straight from block geometry (what every rank computes).
+
+    Block i is rendered by rank i (one block per process, the paper's
+    configuration); its footprint is the projected bounding box of its
+    world AABB.
+    """
+    tiles = TileDecomposition(camera.width, camera.height, num_compositors, strips=strips)
+    footprints: list[Rect | None] = []
+    for b in decomposition.blocks():
+        z, y, x = b.start
+        gz, gy, gx = decomposition.grid_shape
+        lo = np.array([x, y, z], dtype=np.float64)
+        hi = np.array(
+            [
+                min(x + b.count[2], gx - 1),
+                min(y + b.count[1], gy - 1),
+                min(z + b.count[0], gz - 1),
+            ],
+            dtype=np.float64,
+        )
+        footprints.append(camera.footprint(lo, hi))
+    return build_schedule(footprints, tiles, num_compositors)

@@ -1,0 +1,21 @@
+"""The paper's system: the end-to-end parallel volume renderer.
+
+:class:`ParallelVolumeRenderer` runs the three-stage frame —
+collective I/O, local ray casting, direct-send compositing — as one
+SPMD program on the simulated Blue Gene/P, producing a real image and
+a :class:`FrameTiming` with the paper's instrumentation ("the time
+from the start of reading the time step from disk to the time that the
+final image is completed", split into I/O, rendering, and compositing).
+"""
+
+from repro.core.timing import FrameTiming
+from repro.core.pipeline import ParallelVolumeRenderer, FrameResult
+from repro.core.timeseries import TimeSeriesResult, render_time_series
+
+__all__ = [
+    "FrameTiming",
+    "ParallelVolumeRenderer",
+    "FrameResult",
+    "TimeSeriesResult",
+    "render_time_series",
+]

@@ -1,0 +1,50 @@
+"""Frame instrumentation: the paper's three-component timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import fmt_time
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Per-frame stage times, in simulated seconds.
+
+    Stage times are the *maximum across ranks* of each stage's
+    duration (the frame cannot proceed faster than its slowest rank;
+    the paper's curves report the same thing).
+    """
+
+    io_s: float
+    render_s: float
+    composite_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.io_s + self.render_s + self.composite_s
+
+    @property
+    def vis_only_s(self) -> float:
+        """Rendering + compositing — comparable to I/O-less studies."""
+        return self.render_s + self.composite_s
+
+    @property
+    def pct_io(self) -> float:
+        return 100.0 * self.io_s / self.total_s if self.total_s else 0.0
+
+    @property
+    def pct_render(self) -> float:
+        return 100.0 * self.render_s / self.total_s if self.total_s else 0.0
+
+    @property
+    def pct_composite(self) -> float:
+        return 100.0 * self.composite_s / self.total_s if self.total_s else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"frame {fmt_time(self.total_s)} = io {fmt_time(self.io_s)} "
+            f"({self.pct_io:.1f}%) + render {fmt_time(self.render_s)} "
+            f"({self.pct_render:.1f}%) + composite {fmt_time(self.composite_s)} "
+            f"({self.pct_composite:.1f}%)"
+        )

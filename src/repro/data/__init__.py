@@ -1,0 +1,32 @@
+"""Datasets: the synthetic supernova, VH-1-style files, upsampling.
+
+The paper uses Blondin & Mezzacappa's core-collapse supernova run
+(1120^3, five 32-bit variables per netCDF time step).  That data is
+not distributable, so :mod:`repro.data.synthetic` generates fields
+with the same *structural* properties (spherical accretion shock,
+signed radial velocity components, turbulent perturbations) at any
+grid size, and :mod:`repro.data.vh1` writes them in the same file
+shapes (5-variable netCDF record files; extracted raw volumes).
+:mod:`repro.data.upsample` is the paper's Sec. IV-B preprocessing step
+that produced the 2240^3 and 4480^3 time steps.
+"""
+
+from repro.data.synthetic import SupernovaModel, supernova_field
+from repro.data.vh1 import (
+    VH1_VARIABLES,
+    write_vh1_netcdf,
+    extract_variable_raw,
+    write_vh1_h5lite,
+)
+from repro.data.upsample import upsample_trilinear, upsample_parallel_program
+
+__all__ = [
+    "SupernovaModel",
+    "supernova_field",
+    "VH1_VARIABLES",
+    "write_vh1_netcdf",
+    "extract_variable_raw",
+    "write_vh1_h5lite",
+    "upsample_trilinear",
+    "upsample_parallel_program",
+]

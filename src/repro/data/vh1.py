@@ -1,0 +1,71 @@
+"""VH-1-style dataset files (Sec. II-A).
+
+Blondin et al.'s hydrodynamics code stores five time-varying scalar
+variables in 32-bit floats, one netCDF file per time step, with the
+3D fields laid down as *record variables* — 2D slices interleaved
+variable by variable (Fig. 8).  These writers produce exactly that
+shape from the synthetic supernova model, plus the paper's offline
+preprocessing output (one variable extracted to a raw file) and the
+HDF5-converted variant of Sec. V-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import SupernovaModel
+from repro.formats.h5lite import H5LiteFile, H5LiteWriter
+from repro.formats.netcdf import NetCDFFile, NetCDFWriter
+from repro.formats.raw import RawVolume
+from repro.storage.store import ByteStore
+from repro.utils.validation import check_shape3
+
+VH1_VARIABLES = ("pressure", "density", "vx", "vy", "vz")
+
+
+def write_vh1_netcdf(
+    model: SupernovaModel,
+    version: int = 2,
+    store: ByteStore | None = None,
+    record_axis_unlimited: bool = True,
+) -> NetCDFFile:
+    """One VH-1 time step as a netCDF classic file.
+
+    ``record_axis_unlimited=True`` reproduces the production layout: z
+    is the unlimited dimension, so each variable is stored as nz
+    interleaved 2D records.  ``False`` writes fixed (non-record)
+    variables instead — the contiguous layout the "new netCDF" of
+    Sec. V-B enables (requires ``version=5`` for big grids).
+    """
+    nz, ny, nx = check_shape3("grid", model.grid_shape)
+    w = NetCDFWriter(version=version)
+    if record_axis_unlimited:
+        w.create_dimension("z", None)
+    else:
+        w.create_dimension("z", nz)
+    w.create_dimension("y", ny)
+    w.create_dimension("x", nx)
+    w.set_attribute("title", "synthetic core-collapse supernova (VH-1 shaped)")
+    w.set_attribute("time", model.time)
+    w.set_attribute("seed", model.seed)
+    for name in VH1_VARIABLES:
+        w.create_variable(name, np.float32, ("z", "y", "x"))
+        w.set_variable_data(name, model.field(name))
+    return w.write(store)
+
+
+def extract_variable_raw(
+    model: SupernovaModel, variable: str = "vx", store: ByteStore | None = None
+) -> RawVolume:
+    """The paper's offline preprocessing: one variable to a raw file."""
+    return RawVolume.write(model.field(variable), store)
+
+
+def write_vh1_h5lite(model: SupernovaModel, store: ByteStore | None = None) -> H5LiteFile:
+    """The converted-to-HDF5 variant of Sec. V-B (contiguous datasets)."""
+    w = H5LiteWriter()
+    for name in VH1_VARIABLES:
+        w.create_dataset(name, model.field(name))
+    if store is None:
+        return w.write()
+    return w.write(store)

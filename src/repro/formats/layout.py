@@ -1,0 +1,251 @@
+"""Variable layouts and subarray-to-file-range decomposition.
+
+A *layout* maps a variable's logical byte space (row-major element
+order) to file offsets.  Two shapes cover every format here:
+
+* :class:`ContiguousLayout` — one solid extent (raw files, netCDF
+  non-record variables, h5lite datasets),
+* :class:`RecordLayout` — netCDF record variables: one slab per record,
+  slabs separated by the full record stride of *all* record variables
+  (the interleaving of Fig. 8).
+
+``subarray_runs`` turns an N-D subarray request into contiguous runs in
+the variable's byte space; the layout then maps runs to file ranges.
+``subarray_run_stats`` computes the same aggregate numbers (run count,
+run length, total bytes) arithmetically — what the paper-scale analytic
+model uses, since enumerating 25M ranges for a 4480-cubed read is
+neither necessary nor wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.errors import FormatError
+
+
+class VariableLayout:
+    """Interface: map variable byte space -> file byte space."""
+
+    nbytes: int
+
+    def file_ranges(self, var_offset: int, length: int) -> Iterator[tuple[int, int]]:
+        """Yield (file_offset, length) covering [var_offset, var_offset+length)."""
+        raise NotImplementedError
+
+    def covering_intervals(self) -> list[tuple[int, int]]:
+        """Contiguous file intervals that hold any of this variable's bytes."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ContiguousLayout(VariableLayout):
+    """The variable occupies one solid extent starting at ``begin``."""
+
+    begin: int
+    nbytes: int
+
+    def file_ranges(self, var_offset: int, length: int) -> Iterator[tuple[int, int]]:
+        self._check(var_offset, length)
+        if length:
+            yield (self.begin + var_offset, length)
+
+    def covering_intervals(self) -> list[tuple[int, int]]:
+        return [(self.begin, self.nbytes)] if self.nbytes else []
+
+    def _check(self, var_offset: int, length: int) -> None:
+        if var_offset < 0 or length < 0 or var_offset + length > self.nbytes:
+            raise FormatError(
+                f"range [{var_offset}, {var_offset + length}) outside variable "
+                f"of {self.nbytes} bytes"
+            )
+
+
+@dataclass(frozen=True)
+class RecordLayout(VariableLayout):
+    """One slab of ``slab_bytes`` per record, every ``stride_bytes``.
+
+    ``begin`` is the slab's offset within record 0.  The variable's
+    logical byte space is the concatenation of its slabs (without the
+    inter-slab padding, which is ``slab_padded - slab_bytes``).
+    """
+
+    begin: int
+    slab_bytes: int
+    stride_bytes: int
+    num_records: int
+
+    def __post_init__(self) -> None:
+        if self.slab_bytes < 0 or self.num_records < 0:
+            raise FormatError("negative slab size or record count")
+        if self.stride_bytes < self.slab_bytes:
+            raise FormatError(
+                f"record stride {self.stride_bytes} smaller than slab {self.slab_bytes}"
+            )
+
+    @property
+    def nbytes(self) -> int:  # type: ignore[override]
+        return self.slab_bytes * self.num_records
+
+    def file_ranges(self, var_offset: int, length: int) -> Iterator[tuple[int, int]]:
+        if var_offset < 0 or length < 0 or var_offset + length > self.nbytes:
+            raise FormatError(
+                f"range [{var_offset}, {var_offset + length}) outside record variable "
+                f"of {self.nbytes} bytes"
+            )
+        pos = var_offset
+        remaining = length
+        while remaining > 0:
+            rec, within = divmod(pos, self.slab_bytes)
+            take = min(remaining, self.slab_bytes - within)
+            yield (self.begin + rec * self.stride_bytes + within, take)
+            pos += take
+            remaining -= take
+
+    def covering_intervals(self) -> list[tuple[int, int]]:
+        return [
+            (self.begin + r * self.stride_bytes, self.slab_bytes)
+            for r in range(self.num_records)
+            if self.slab_bytes
+        ]
+
+
+# -- subarray decomposition -------------------------------------------------
+
+
+def _check_subarray(
+    shape: Sequence[int], start: Sequence[int], count: Sequence[int]
+) -> tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+    shp = tuple(int(v) for v in shape)
+    st = tuple(int(v) for v in start)
+    ct = tuple(int(v) for v in count)
+    if not (len(shp) == len(st) == len(ct)):
+        raise FormatError(f"shape/start/count rank mismatch: {shp}, {st}, {ct}")
+    for d, (s, b, c) in enumerate(zip(shp, st, ct)):
+        if b < 0 or c < 0 or b + c > s:
+            raise FormatError(f"subarray dim {d}: start={b} count={c} outside extent {s}")
+    return shp, st, ct
+
+
+def contiguous_suffix(shape: Sequence[int], start: Sequence[int], count: Sequence[int]) -> int:
+    """First dim index j such that dims j..N-1 form one contiguous span.
+
+    Dims after j must be fully covered; dim j itself may be partial.
+    Returns ``len(shape)`` for an empty request.
+    """
+    shp, st, ct = _check_subarray(shape, start, count)
+    n = len(shp)
+    if any(c == 0 for c in ct):
+        return n
+    j = n
+    while j > 0 and (j == n or (st[j] == 0 and ct[j] == shp[j])):
+        j -= 1
+    # dims j+1..n-1 fully covered; dim j partial or first: run spans dims j..n-1
+    return j
+
+
+def subarray_runs(
+    shape: Sequence[int],
+    start: Sequence[int],
+    count: Sequence[int],
+    itemsize: int,
+) -> Iterator[tuple[int, int]]:
+    """Yield (var_byte_offset, byte_length) contiguous runs, in order.
+
+    Row-major (C order).  A 3D block read produces count[0]*count[1]
+    runs of count[2]*itemsize bytes (fewer if trailing dims are fully
+    covered).
+    """
+    shp, st, ct = _check_subarray(shape, start, count)
+    if itemsize <= 0:
+        raise FormatError(f"itemsize must be positive, got {itemsize}")
+    n = len(shp)
+    if n == 0:
+        yield (0, itemsize)
+        return
+    if any(c == 0 for c in ct):
+        return
+    j = contiguous_suffix(shp, st, ct)
+    strides = np.empty(n, dtype=np.int64)
+    acc = itemsize
+    for d in range(n - 1, -1, -1):
+        strides[d] = acc
+        acc *= shp[d]
+    if j >= n:
+        j = n - 1  # fully-covered array: single run over everything
+    run_len = int(ct[j] * strides[j])
+    outer_dims = list(range(j))
+    if not outer_dims:
+        yield (int(sum(st[d] * strides[d] for d in range(n))), run_len)
+        return
+    idx = [0] * len(outer_dims)
+    base = int(sum(st[d] * strides[d] for d in range(n)))
+    while True:
+        off = base + int(sum(idx[i] * strides[outer_dims[i]] for i in range(len(outer_dims))))
+        yield (off, run_len)
+        for i in range(len(outer_dims) - 1, -1, -1):
+            idx[i] += 1
+            if idx[i] < ct[outer_dims[i]]:
+                break
+            idx[i] = 0
+        else:
+            return
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Aggregate description of a subarray's contiguous runs."""
+
+    num_runs: int
+    run_bytes: int
+    total_bytes: int
+    first_offset: int
+    last_end: int
+
+    @property
+    def span_bytes(self) -> int:
+        """Extent from first byte to last byte touched."""
+        return self.last_end - self.first_offset
+
+
+def subarray_run_stats(
+    shape: Sequence[int],
+    start: Sequence[int],
+    count: Sequence[int],
+    itemsize: int,
+) -> RunStats:
+    """Arithmetic version of :func:`subarray_runs` for paper-scale sizes."""
+    shp, st, ct = _check_subarray(shape, start, count)
+    if itemsize <= 0:
+        raise FormatError(f"itemsize must be positive, got {itemsize}")
+    n = len(shp)
+    if n == 0 or any(c == 0 for c in ct):
+        empty = n != 0 and any(c == 0 for c in ct)
+        size = 0 if empty else itemsize
+        return RunStats(0 if empty else 1, size, size, 0, size)
+    j = contiguous_suffix(shp, st, ct)
+    if j >= n:
+        j = n - 1
+    strides = [0] * n
+    acc = itemsize
+    for d in range(n - 1, -1, -1):
+        strides[d] = acc
+        acc *= shp[d]
+    run_bytes = int(ct[j] * strides[j])
+    num_runs = 1
+    for d in range(j):
+        num_runs *= ct[d]
+    first = int(sum(st[d] * strides[d] for d in range(n)))
+    last_start = first + int(
+        sum((ct[d] - 1) * strides[d] for d in range(j))
+    )
+    return RunStats(
+        num_runs=num_runs,
+        run_bytes=run_bytes,
+        total_bytes=num_runs * run_bytes,
+        first_offset=first,
+        last_end=last_start + run_bytes,
+    )

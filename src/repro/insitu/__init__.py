@@ -1,0 +1,20 @@
+"""In-situ visualization — the paper's stated destination.
+
+"We hope that in situ techniques will enable scientists to see early
+results of their computations, as well as eliminate or reduce expensive
+storage accesses, because, as our research shows, I/O dominates
+large-scale visualization." (Sec. VI)
+
+This package couples a real block-parallel solver
+(:class:`AdvectionDiffusionSim` — upwind advection of the supernova
+field in a rotating flow, plus diffusion, with halo exchanges over the
+simulated MPI) directly to the renderer: every k-th simulation step is
+rendered from the in-memory blocks, no storage in the loop.  The
+future-work bench compares its cost against the paper's measured
+store-then-read workflow.
+"""
+
+from repro.insitu.simulation import AdvectionDiffusionSim
+from repro.insitu.coupling import InSituPipeline, InSituResult
+
+__all__ = ["AdvectionDiffusionSim", "InSituPipeline", "InSituResult"]

@@ -1,0 +1,25 @@
+"""Machine model for the IBM Blue Gene/P at the Argonne Leadership
+Computing Facility, as described in Sec. III-A of the paper.
+
+The model carries the *structural* facts the experiments depend on:
+nodes with four 850 MHz PowerPC-450 cores sharing 2 GiB RAM, partitions
+with particular 3D torus shapes, one I/O node per 64 compute nodes, and
+rank-to-coordinate mappings.
+"""
+
+from repro.machine.specs import NodeSpec, TorusLinkSpec, TreeLinkSpec, MachineSpec, BGP_ALCF
+from repro.machine.partition import Partition, torus_shape_for_nodes, STANDARD_PARTITIONS
+from repro.machine.mapping import RankMapping, MAPPING_ORDERS
+
+__all__ = [
+    "NodeSpec",
+    "TorusLinkSpec",
+    "TreeLinkSpec",
+    "MachineSpec",
+    "BGP_ALCF",
+    "Partition",
+    "torus_shape_for_nodes",
+    "STANDARD_PARTITIONS",
+    "RankMapping",
+    "MAPPING_ORDERS",
+]

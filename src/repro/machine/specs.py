@@ -1,0 +1,97 @@
+"""Hardware specification records for Blue Gene/P.
+
+Numbers come from Sec. III-A of the paper: 850 MHz quad-core nodes with
+2 GB RAM, a 3D torus at 3.4 Gb/s per link and 5 us maximum latency, a
+collective tree at 6.8 Gb/s per link and 5 us latency, 1024 nodes per
+rack, 40 racks, and one I/O node per 64 compute nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.units import GIB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node."""
+
+    cores: int = 4
+    clock_hz: float = 850e6
+    ram_bytes: int = 2 * GIB
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("clock_hz", self.clock_hz)
+        check_positive("ram_bytes", self.ram_bytes)
+
+    def ram_per_process(self, processes_per_node: int) -> int:
+        """RAM available to each MPI process at the given depth."""
+        check_positive("processes_per_node", processes_per_node)
+        return self.ram_bytes // processes_per_node
+
+
+@dataclass(frozen=True)
+class TorusLinkSpec:
+    """One 3D-torus link: point-to-point network."""
+
+    bandwidth_Bps: float = 3.4e9 / 8.0  # 3.4 Gb/s -> 425 MB/s
+    latency_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_Bps", self.bandwidth_Bps)
+        check_positive("latency_s", self.latency_s)
+
+
+@dataclass(frozen=True)
+class TreeLinkSpec:
+    """One collective-tree link."""
+
+    bandwidth_Bps: float = 6.8e9 / 8.0  # 6.8 Gb/s -> 850 MB/s
+    latency_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_Bps", self.bandwidth_Bps)
+        check_positive("latency_s", self.latency_s)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole Blue Gene/P installation."""
+
+    name: str = "BG/P"
+    node: NodeSpec = field(default_factory=NodeSpec)
+    torus_link: TorusLinkSpec = field(default_factory=TorusLinkSpec)
+    tree_link: TreeLinkSpec = field(default_factory=TreeLinkSpec)
+    nodes_per_rack: int = 1024
+    racks: int = 40
+    compute_nodes_per_io_node: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive("nodes_per_rack", self.nodes_per_rack)
+        check_positive("racks", self.racks)
+        check_positive("compute_nodes_per_io_node", self.compute_nodes_per_io_node)
+
+    @property
+    def total_nodes(self) -> int:
+        return self.nodes_per_rack * self.racks
+
+    @property
+    def total_cores(self) -> int:
+        return self.total_nodes * self.node.cores
+
+    @property
+    def total_ram_bytes(self) -> int:
+        """The 80 TB aggregate memory footprint cited in the paper."""
+        return self.total_nodes * self.node.ram_bytes
+
+    def io_nodes_for(self, compute_nodes: int) -> int:
+        """I/O nodes serving a partition of the given node count."""
+        check_positive("compute_nodes", compute_nodes)
+        return max(1, -(-compute_nodes // self.compute_nodes_per_io_node))
+
+
+#: The Argonne "Intrepid" installation used in the paper (557 TF, 40 racks).
+BGP_ALCF = MachineSpec(name="BG/P (ALCF Intrepid)")

@@ -1,0 +1,87 @@
+"""Calibrated constants for the BG/P performance model.
+
+Hardware numbers come straight from the paper's Sec. III-A (torus
+3.4 Gb/s + 5 us, tree 6.8 Gb/s, 1 ION : 64 nodes, 17 SANs at 5.5 GB/s
+peak).  The *calibrated* values were fitted to the paper's measured
+results (Figs. 3-7, Table II) via ``benchmarks/calibration.py``-style
+sweeps; each constant notes the observation that pins it.  None of
+them changes who-wins orderings — they set absolute scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.costs import ContentionLaw, LinkCostModel
+from repro.utils.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class IOConstants:
+    """Aggregate-read bandwidth law:
+
+    BW = base_bw * e_acc * e_req * naggs**agg_exponent * depth_factor
+
+    * ``e_acc = acc / (acc + access_half)`` — server efficiency vs the
+      physical access size (seek/request amortization).
+    * ``e_req = req / (req + request_half)`` — client-side efficiency vs
+      per-process request volume (two-phase bookkeeping grows as each
+      process's share shrinks; pins Fig. 3's best-at-16K total).
+    * ``naggs**agg_exponent`` — more aggregators keep more file servers
+      and IONs busy (pins Table II's bandwidth growth with core count).
+    * ``depth_factor = d / (d + depth_half)``, d = file stripes per
+      server — deeper per-server queues pipeline better (pins the
+      4480^3 runs reaching 1.63 GB/s where 1120^3 saturates near 1).
+    """
+
+    base_bw_Bps: float = 0.525e9  # single-aggregator stream at ideal access size
+    access_half_bytes: float = 4.0 * MIB  # calibrated: raw 64-core read at ~0.35 GB/s
+    request_half_bytes: float = 150.0 * KIB  # pins the slight 32K dip (best total at 16K)
+    agg_exponent: float = 0.32  # pins Table II's bandwidth growth with cores
+    depth_half: float = 0.5
+    open_overhead_s: float = 0.15  # collective open + header parse
+    meta_access_s: float = 0.4e-3  # one small metadata server round trip
+    meta_parallelism: int = 136  # metadata reads spread over the servers
+
+
+@dataclass(frozen=True)
+class RenderConstants:
+    """Ray-casting cost: samples / (rate * cores) * imbalance.
+
+    350K samples/s/core pins "visualization-only time 0.6 s at 16K
+    cores" for 1120^3 / 1600^2 (Sec. IV-A) on 850 MHz PPC450 cores
+    (~2400 clocks per trilinear sample + transfer-function blend,
+    including cache misses and loop overhead).
+    """
+
+    samples_per_second_per_core: float = 3.5e5
+    load_imbalance: float = 1.12  # "minor deviations ... due to load imbalances"
+
+
+@dataclass(frozen=True)
+class CompositeConstants:
+    """Direct-send phase cost: schedule setup + endpoint serialization
+    + the contention law of :class:`repro.network.costs.ContentionLaw`.
+
+    ``setup_s`` pins the flat original-compositing time through 1K
+    cores (Fig. 3); the contention parameters pin the collapse beyond
+    1K and the 30x improvement at 32K.
+    """
+
+    setup_s: float = 0.05
+    contention: ContentionLaw = field(
+        default_factory=lambda: ContentionLaw(
+            delta_s=2.2e-3, m_critical=32_000.0, s_small_bytes=400.0
+        )
+    )
+    link: LinkCostModel = field(default_factory=LinkCostModel)
+
+
+@dataclass(frozen=True)
+class ModelConstants:
+    io: IOConstants = field(default_factory=IOConstants)
+    render: RenderConstants = field(default_factory=RenderConstants)
+    composite: CompositeConstants = field(default_factory=CompositeConstants)
+
+
+DEFAULT_CONSTANTS = ModelConstants()

@@ -1,0 +1,109 @@
+"""I/O stage time model: from an exact access plan to seconds.
+
+The *plan* (which byte ranges are physically read, at what access
+sizes, by how many aggregators) is computed exactly by
+:mod:`repro.pio` even at paper scale; this module prices it with the
+calibrated bandwidth law of :class:`repro.model.constants.IOConstants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.partition import Partition
+from repro.model.constants import DEFAULT_CONSTANTS, ModelConstants
+from repro.pio.reader import IOReport
+from repro.storage.stripedfs import StripeConfig
+from repro.utils.errors import ConfigError
+from repro.utils.units import fmt_bandwidth, fmt_time
+
+
+@dataclass(frozen=True)
+class IOStageResult:
+    """Priced I/O stage."""
+
+    seconds: float
+    physical_bytes: int
+    useful_bytes: int
+    aggregate_bw_Bps: float  # physical bytes / read seconds
+    effective_bw_Bps: float  # useful bytes / total seconds (the paper's metric)
+    density: float
+    num_accesses: int
+    mean_access_bytes: float
+    meta_seconds: float
+
+    def __str__(self) -> str:
+        return (
+            f"I/O {fmt_time(self.seconds)}: {fmt_bandwidth(self.effective_bw_Bps)} "
+            f"effective, density {self.density:.3f}, "
+            f"{self.num_accesses} accesses"
+        )
+
+
+class IOTimeModel:
+    """Prices an :class:`IOReport` for a given partition.
+
+    Pass a :class:`repro.storage.profiles.FileSystemProfile` to price
+    against a different installation (the Sec. VI Lustre comparison);
+    the profile's striping and base-rate scale replace the defaults.
+    """
+
+    def __init__(self, constants: ModelConstants = DEFAULT_CONSTANTS,
+                 stripe: StripeConfig | None = None, profile=None):
+        self.c = constants.io
+        self._bw_scale = 1.0
+        if profile is not None:
+            stripe = stripe or profile.stripe
+            self._bw_scale = profile.base_bw_scale
+        self.stripe = stripe or StripeConfig()
+
+    def aggregate_bandwidth(
+        self,
+        mean_access_bytes: float,
+        request_bytes_per_proc: float,
+        num_aggregators: int,
+        span_bytes: int,
+    ) -> float:
+        """The calibrated aggregate read bandwidth law (see constants)."""
+        if num_aggregators < 1:
+            raise ConfigError(f"need at least one aggregator, got {num_aggregators}")
+        e_acc = mean_access_bytes / (mean_access_bytes + self.c.access_half_bytes)
+        e_req = request_bytes_per_proc / (request_bytes_per_proc + self.c.request_half_bytes)
+        g = float(num_aggregators) ** self.c.agg_exponent
+        # Queue depth per server; the +1 keeps tiny (single-stripe)
+        # files from pricing absurdly — one outstanding request per
+        # server is the floor, not zero.
+        depth = 1.0 + span_bytes / self.stripe.stripe_size / self.stripe.num_servers
+        d = depth / (depth + self.c.depth_half)
+        return self._bw_scale * self.c.base_bw_Bps * e_acc * e_req * g * d
+
+    def price(self, report: IOReport, partition: Partition) -> IOStageResult:
+        """Seconds for one collective read of the report's plan."""
+        if report.physical_bytes == 0:
+            return IOStageResult(0.0, 0, 0, 0.0, 0.0, 0.0, 0, 0.0, 0.0)
+        naggs = report.plan.num_aggregators
+        req_per_proc = report.requested_bytes / max(report.nprocs, 1)
+        bw = self.aggregate_bandwidth(
+            report.mean_access_bytes, req_per_proc, naggs, report.physical_bytes
+        )
+        read_s = report.physical_bytes / bw
+        # Metadata: every process issues its small reads; the file
+        # servers absorb them meta_parallelism at a time.
+        meta_ops = report.meta_accesses_per_proc * report.nprocs
+        meta_s = self.c.open_overhead_s + meta_ops * self.c.meta_access_s / self.c.meta_parallelism
+        total = read_s + meta_s
+        return IOStageResult(
+            seconds=total,
+            physical_bytes=report.physical_bytes,
+            useful_bytes=report.requested_bytes,
+            aggregate_bw_Bps=bw,
+            effective_bw_Bps=report.requested_bytes / total,
+            density=report.density,
+            num_accesses=report.num_accesses,
+            mean_access_bytes=report.mean_access_bytes,
+            meta_seconds=meta_s,
+        )
+
+    def default_aggregators(self, partition: Partition) -> int:
+        """One aggregator per I/O node, the ROMIO arrangement on BG/P."""
+        return max(1, partition.io_nodes)

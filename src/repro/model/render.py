@@ -1,0 +1,74 @@
+"""Rendering stage time model.
+
+Rendering is embarrassingly parallel (Sec. IV-A): time is total sample
+count over aggregate sampling rate, inflated by the measured load
+imbalance.  The sample count is the exact number the ray caster would
+take: every image-plane ray marches through the volume's depth at the
+frame's global step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.constants import DEFAULT_CONSTANTS, ModelConstants
+from repro.utils.errors import ConfigError
+from repro.utils.units import fmt_time
+from repro.utils.validation import check_shape3
+
+
+@dataclass(frozen=True)
+class RenderStageResult:
+    seconds: float
+    total_samples: float
+    samples_per_proc: float
+
+    def __str__(self) -> str:
+        return f"render {fmt_time(self.seconds)} ({self.total_samples:.3g} samples)"
+
+
+class RenderTimeModel:
+    """Prices the local ray-casting stage."""
+
+    def __init__(self, constants: ModelConstants = DEFAULT_CONSTANTS):
+        self.c = constants.render
+
+    def total_samples(
+        self,
+        grid_shape: tuple[int, int, int],
+        image_width: int,
+        image_height: int,
+        step: float = 1.0,
+        coverage: float = 0.7,
+    ) -> float:
+        """Samples per frame: covered pixels x mean ray path / step.
+
+        ``coverage`` is the fraction of image pixels whose rays hit the
+        volume (the paper frames the volume to fill most of the image);
+        the mean chord through a cube over its bounding square is about
+        0.7 of the edge, folded into the same factor.
+        """
+        check_shape3("grid_shape", grid_shape)
+        if image_width <= 0 or image_height <= 0:
+            raise ConfigError("image dimensions must be positive")
+        if step <= 0:
+            raise ConfigError(f"step must be positive, got {step}")
+        mean_depth = float(np.mean(grid_shape))
+        return image_width * image_height * coverage * mean_depth / step
+
+    def price(
+        self,
+        grid_shape: tuple[int, int, int],
+        image_width: int,
+        image_height: int,
+        nprocs: int,
+        step: float = 1.0,
+    ) -> RenderStageResult:
+        if nprocs < 1:
+            raise ConfigError(f"need at least one process, got {nprocs}")
+        samples = self.total_samples(grid_shape, image_width, image_height, step)
+        per_proc = samples / nprocs
+        seconds = per_proc / self.c.samples_per_second_per_core * self.c.load_imbalance
+        return RenderStageResult(seconds, samples, per_proc)

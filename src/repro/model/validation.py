@@ -1,0 +1,113 @@
+"""Fidelity scoring: the model vs the paper's published numbers.
+
+Collects every quantitative anchor the paper states (Sec. IV-V and
+Table II), evaluates the model at the same configuration, and reports
+the log-ratio error per anchor plus an aggregate score.  The test
+suite pins the aggregate, so a calibration regression that silently
+drifts away from the paper fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.pipeline import DATASETS, FrameModel
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One published number and where the model must look for it."""
+
+    name: str
+    paper_value: float
+    model_value: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float:
+        return self.model_value / self.paper_value if self.paper_value else float("inf")
+
+    @property
+    def log2_error(self) -> float:
+        return abs(float(np.log2(self.ratio)))
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    anchors: tuple[Anchor, ...]
+
+    @property
+    def mean_log2_error(self) -> float:
+        return float(np.mean([a.log2_error for a in self.anchors]))
+
+    @property
+    def max_log2_error(self) -> float:
+        return float(np.max([a.log2_error for a in self.anchors]))
+
+    @property
+    def within_factor_2(self) -> float:
+        """Fraction of anchors the model hits within 2x."""
+        return float(np.mean([a.log2_error <= 1.0 for a in self.anchors]))
+
+    def table(self) -> str:
+        from repro.analysis.reports import format_table
+
+        rows = [
+            [a.name, a.paper_value, a.model_value, f"{a.ratio:.2f}x"]
+            for a in self.anchors
+        ]
+        return format_table(["anchor", "paper", "model", "ratio"], rows)
+
+
+def fidelity_report() -> FidelityReport:
+    """Evaluate every anchor against the default-calibrated model."""
+    fm = FrameModel(DATASETS["1120"])
+    anchors: list[Anchor] = []
+
+    best16 = fm.estimate(16384)
+    orig32 = fm.estimate_original(32768)
+    impr32 = fm.estimate(32768)
+    anchors.append(Anchor("best frame time at 16K (s)", 5.9, best16.total_s, "s"))
+    anchors.append(Anchor("vis-only at 16K (s)", 0.6, best16.vis_only_s, "s"))
+    anchors.append(
+        Anchor(
+            "composite improvement at 32K (x)",
+            30.0,
+            orig32.composite.seconds / impr32.composite.seconds,
+        )
+    )
+    anchors.append(
+        Anchor(
+            "frame reduction at 32K (%)",
+            24.0,
+            100 * (1 - impr32.total_s / orig32.total_s),
+        )
+    )
+    anchors.append(
+        Anchor(
+            "untuned netCDF slowdown vs raw, 64 cores (x)",
+            4.5,
+            fm.io_stage("netcdf", 64).seconds / fm.io_stage("raw", 64).seconds,
+        )
+    )
+    # Fig. 9's tuned access pattern.
+    tuned = fm.io_report("netcdf-tuned", 2048)
+    anchors.append(Anchor("tuned physical bytes (GB)", 11.0, tuned.physical_bytes / 1e9))
+    anchors.append(Anchor("tuned accesses (count)", 2600, tuned.num_accesses))
+    anchors.append(Anchor("tuned mean access (MB)", 4.5, tuned.mean_access_bytes / 1e6))
+
+    for name, cores, total, bw in (
+        ("2240", 8192, 51.35, 0.87e9),
+        ("2240", 32768, 35.54, 1.26e9),
+        ("4480", 8192, 316.41, 1.13e9),
+        ("4480", 32768, 220.79, 1.63e9),
+    ):
+        est = FrameModel(DATASETS[name]).estimate(cores)
+        anchors.append(Anchor(f"{name}^3 total at {cores} (s)", total, est.total_s))
+        anchors.append(
+            Anchor(f"{name}^3 read bandwidth at {cores} (GB/s)", bw / 1e9, est.read_bw_Bps / 1e9)
+        )
+
+    return FidelityReport(tuple(anchors))

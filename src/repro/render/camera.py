@@ -1,0 +1,170 @@
+"""Pinhole camera: ray generation and point projection.
+
+World coordinates are volume index coordinates (voxel (i, j, k) of a
+(nz, ny, nx) grid sits at world (x=k, y=j, z=i)).  Image pixel (0, 0)
+is the lower-left corner; rays pass through pixel centres.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigError
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    n = np.linalg.norm(v)
+    if n == 0:
+        raise ConfigError("zero-length camera vector")
+    return v / n
+
+
+class Camera:
+    """Perspective (default) or orthographic camera, square pixels.
+
+    Orthographic mode fires parallel rays through a world-space window
+    of height ``ortho_height`` centred on the view axis — the classic
+    sci-vis projection when relative sizes must be preserved.
+    """
+
+    def __init__(
+        self,
+        eye: tuple[float, float, float],
+        center: tuple[float, float, float],
+        up: tuple[float, float, float] = (0.0, 1.0, 0.0),
+        fov_deg: float = 30.0,
+        width: int = 256,
+        height: int = 256,
+        orthographic: bool = False,
+        ortho_height: float | None = None,
+    ):
+        if width <= 0 or height <= 0:
+            raise ConfigError("image dimensions must be positive")
+        if not (0.0 < fov_deg < 180.0):
+            raise ConfigError(f"fov must be in (0, 180) degrees, got {fov_deg}")
+        self.eye = np.asarray(eye, dtype=np.float64)
+        self.center = np.asarray(center, dtype=np.float64)
+        self.width = int(width)
+        self.height = int(height)
+        self.fov_deg = float(fov_deg)
+        self.orthographic = bool(orthographic)
+        self.forward = _normalize(self.center - self.eye)
+        right = np.cross(self.forward, np.asarray(up, dtype=np.float64))
+        self.right = _normalize(right)
+        self.up = np.cross(self.right, self.forward)
+        if self.orthographic:
+            if ortho_height is None:
+                # Frame the same extent a perspective camera would at
+                # the centre's distance.
+                dist = float(np.linalg.norm(self.center - self.eye))
+                ortho_height = 2.0 * dist * np.tan(np.radians(self.fov_deg) / 2.0)
+            if ortho_height <= 0:
+                raise ConfigError(f"ortho_height must be positive, got {ortho_height}")
+            self._half_h = float(ortho_height) / 2.0  # world units
+        else:
+            # Half-extents of the image plane at unit distance.
+            self._half_h = float(np.tan(np.radians(self.fov_deg) / 2.0))
+        self._half_w = self._half_h * self.width / self.height
+
+    @classmethod
+    def looking_at_volume(
+        cls,
+        grid_shape: tuple[int, int, int],
+        width: int = 256,
+        height: int = 256,
+        azimuth_deg: float = 30.0,
+        elevation_deg: float = 20.0,
+        distance_factor: float = 2.2,
+        fov_deg: float = 30.0,
+    ) -> "Camera":
+        """A camera orbiting the volume centre, framing the whole grid."""
+        nz, ny, nx = grid_shape
+        center = np.array([(nx - 1) / 2.0, (ny - 1) / 2.0, (nz - 1) / 2.0])
+        radius = distance_factor * max(nx, ny, nz)
+        az = np.radians(azimuth_deg)
+        el = np.radians(elevation_deg)
+        offset = radius * np.array(
+            [np.cos(el) * np.sin(az), np.sin(el), np.cos(el) * np.cos(az)]
+        )
+        return cls(tuple(center + offset), tuple(center), (0, 1, 0), fov_deg, width, height)
+
+    # -- rays --------------------------------------------------------------
+
+    def rays_for_pixels(self, px: np.ndarray, py: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Ray (origins, unit directions) through pixel centres.
+
+        ``px``/``py`` are integer arrays; returns arrays shaped
+        (..., 3).  Directions are unit length, so the ray parameter t
+        is world distance from the eye — the globally aligned sampling
+        coordinate shared by all blocks.
+        """
+        u = ((np.asarray(px, dtype=np.float64) + 0.5) / self.width * 2.0 - 1.0) * self._half_w
+        v = ((np.asarray(py, dtype=np.float64) + 0.5) / self.height * 2.0 - 1.0) * self._half_h
+        if self.orthographic:
+            origins = self.eye + u[..., None] * self.right + v[..., None] * self.up
+            d = np.broadcast_to(self.forward, origins.shape).copy()
+            return origins, d
+        d = (
+            self.forward
+            + u[..., None] * self.right
+            + v[..., None] * self.up
+        )
+        d = d / np.linalg.norm(d, axis=-1, keepdims=True)
+        origins = np.broadcast_to(self.eye, d.shape)
+        return origins, d
+
+    # -- projection ---------------------------------------------------------
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """World points (..., 3) -> pixel coordinates (..., 2) (float).
+
+        Points behind the eye project to NaN (callers expand footprints
+        conservatively in that case; it does not occur for volumes in
+        front of the camera).
+        """
+        rel = np.asarray(points, dtype=np.float64) - self.eye
+        z = rel @ self.forward
+        x = rel @ self.right
+        y = rel @ self.up
+        if self.orthographic:
+            u, v = x, y
+        else:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                u = np.where(z > 0, x / z, np.nan)
+                v = np.where(z > 0, y / z, np.nan)
+        px = (u / self._half_w + 1.0) / 2.0 * self.width - 0.5
+        py = (v / self._half_h + 1.0) / 2.0 * self.height - 0.5
+        return np.stack([px, py], axis=-1)
+
+    def footprint(self, lo: np.ndarray, hi: np.ndarray) -> tuple[int, int, int, int] | None:
+        """Pixel bbox (x0, y0, w, h) of a world-space AABB, clipped.
+
+        Returns None when the box projects entirely off screen.
+        """
+        corners = np.array(
+            [[x, y, z] for x in (lo[0], hi[0]) for y in (lo[1], hi[1]) for z in (lo[2], hi[2])]
+        )
+        pix = self.project(corners)
+        if np.any(np.isnan(pix)):
+            # Conservative: box reaches behind the camera.
+            return (0, 0, self.width, self.height)
+        x0 = int(np.floor(pix[:, 0].min()))
+        x1 = int(np.ceil(pix[:, 0].max()))
+        y0 = int(np.floor(pix[:, 1].min()))
+        y1 = int(np.ceil(pix[:, 1].max()))
+        x0 = max(x0, 0)
+        y0 = max(y0, 0)
+        x1 = min(x1 + 1, self.width)
+        y1 = min(y1 + 1, self.height)
+        if x1 <= x0 or y1 <= y0:
+            return None
+        return (x0, y0, x1 - x0, y1 - y0)
+
+    def depth_of(self, point: np.ndarray) -> float:
+        """The compositing sort key: eye distance (perspective) or
+        distance along the view axis (orthographic — where all rays
+        share one direction, axial depth is the correct order)."""
+        rel = np.asarray(point, dtype=np.float64) - self.eye
+        if self.orthographic:
+            return float(rel @ self.forward)
+        return float(np.linalg.norm(rel))

@@ -1,0 +1,101 @@
+"""Ghost-layer exchange over simulated MPI.
+
+The pipeline's default reads each block *with* its ghost layer straight
+from the file (overlapping collective reads).  The message-based
+alternative here reads exact blocks and exchanges halos with
+neighbours — the approach a production code takes when the data is
+already resident (and the only option in situ).
+
+The exchange runs axis by axis (z, then y, then x), each axis swapping
+faces *including the ghost slabs accumulated by earlier axes*.  That
+three-phase trick propagates edge and corner values correctly with only
+six face messages per rank, which matters because trilinear sampling at
+block corners needs diagonal neighbours' voxels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.render.decomposition import BlockDecomposition
+from repro.utils.errors import CommunicationError
+from repro.vmpi.cart import CartGrid
+
+GHOST_TAG_BASE = 7200
+
+
+def ghost_exchange(
+    ctx: Any,
+    local: np.ndarray,
+    decomposition: BlockDecomposition,
+    ghost: int = 1,
+) -> Generator:
+    """Exchange halos; returns (padded_array, ghost_lo).
+
+    ``local`` is rank's owned block (no ghost), one block per rank in
+    block-index order.  The result is the block padded by up to
+    ``ghost`` voxels on every side where the volume continues — exactly
+    what an overlapping ghost read would have returned.
+    """
+    grid = CartGrid(decomposition.block_grid)  # type: ignore[arg-type]
+    if grid.size != ctx.size:
+        raise CommunicationError(
+            f"ghost exchange needs one block per rank ({grid.size} blocks, "
+            f"{ctx.size} ranks)"
+        )
+    block = decomposition.block(ctx.rank)
+    if tuple(local.shape) != tuple(block.count):
+        raise CommunicationError(
+            f"local array shape {local.shape} does not match owned block "
+            f"{block.count}"
+        )
+    data = np.asarray(local)
+    ghost_lo = [0, 0, 0]
+    for axis in range(3):
+        lo_nbr = grid.neighbor(ctx.rank, axis, -1)
+        hi_nbr = grid.neighbor(ctx.rank, axis, +1)
+        g = min(ghost, data.shape[axis])
+        tag = GHOST_TAG_BASE + axis
+
+        # Face slabs to send: the owned voxels nearest each face,
+        # including ghosts already gathered along previous axes.
+        send_lo = _face(data, axis, 0, g)  # to the -1 neighbour
+        send_hi = _face(data, axis, data.shape[axis] - g, g)  # to the +1 neighbour
+
+        reqs = []
+        if lo_nbr is not None:
+            reqs.append(ctx.isend(send_lo, lo_nbr, tag))
+        if hi_nbr is not None:
+            reqs.append(ctx.isend(send_hi, hi_nbr, tag))
+        from_lo = from_hi = None
+        # Receive in a fixed order; sources disambiguate the sides.
+        for _ in range(int(lo_nbr is not None) + int(hi_nbr is not None)):
+            payload, status = yield from ctx.recv_status(tag=tag)
+            if status.source == lo_nbr:
+                from_lo = payload
+            elif status.source == hi_nbr:
+                from_hi = payload
+            else:  # pragma: no cover - schedule bug guard
+                raise CommunicationError(
+                    f"unexpected ghost message from rank {status.source}"
+                )
+        yield from ctx.waitall(reqs)
+
+        parts = []
+        if from_lo is not None:
+            parts.append(from_lo)
+            ghost_lo[axis] = from_lo.shape[axis]
+        parts.append(data)
+        if from_hi is not None:
+            parts.append(from_hi)
+        if len(parts) > 1:
+            data = np.concatenate(parts, axis=axis)
+    return data, tuple(ghost_lo)
+
+
+def _face(data: np.ndarray, axis: int, start: int, width: int) -> np.ndarray:
+    sl: list[slice] = [slice(None)] * 3
+    sl[axis] = slice(start, start + width)
+    return np.ascontiguousarray(data[tuple(sl)])

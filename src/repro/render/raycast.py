@@ -1,0 +1,124 @@
+"""The ray-casting core (Sec. III-B2 of the paper).
+
+Each block renders its screen footprint: rays march front to back in
+*globally aligned* steps — samples sit at ray parameters
+``t = (k + 1/2) * step`` measured from the eye, so a sample point
+belongs to exactly one block (the one whose [t_enter, t_exit) interval
+contains it) and block-parallel rendering is exactly equivalent to
+serial rendering.
+
+The marching loop is vectorized across the footprint's pixels; the
+only Python-level loop is over sample indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.camera import Camera
+from repro.render.image import PartialImage
+from repro.render.transfer import TransferFunction
+from repro.render.volume import VolumeBlock
+from repro.utils.errors import ConfigError
+
+
+def ray_box_intersect(
+    origins: np.ndarray, dirs: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Slab-method intersection: (t_enter, t_exit) per ray; miss if t_exit <= t_enter."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = 1.0 / dirs
+        t0 = (lo - origins) * inv
+        t1 = (hi - origins) * inv
+    tmin = np.minimum(t0, t1)
+    tmax = np.maximum(t0, t1)
+    # Axis-parallel rays: if the origin is outside the slab, miss.
+    for a in range(3):
+        par = dirs[..., a] == 0.0
+        if np.any(par):
+            outside = par & ((origins[..., a] < lo[a]) | (origins[..., a] > hi[a]))
+            tmin[..., a] = np.where(par, np.where(outside, np.inf, -np.inf), tmin[..., a])
+            tmax[..., a] = np.where(par, np.where(outside, -np.inf, np.inf), tmax[..., a])
+    t_enter = np.maximum(tmin.max(axis=-1), 0.0)
+    t_exit = tmax.min(axis=-1)
+    return t_enter, t_exit
+
+
+def render_block(
+    camera: Camera,
+    block: VolumeBlock,
+    tf: TransferFunction,
+    step: float = 1.0,
+    early_termination: float = 0.999,
+) -> PartialImage | None:
+    """Ray-cast one block into a partial image over its footprint.
+
+    Returns None when the block is entirely off screen or contributes
+    no samples.  ``step`` is the global sampling distance in voxels
+    (world units); all blocks of a frame must use the same value.
+    """
+    if step <= 0:
+        raise ConfigError(f"step must be positive, got {step}")
+    lo = block.world_lo
+    hi = block.world_hi
+    rect = camera.footprint(lo, hi)
+    if rect is None:
+        return None
+    x0, y0, w, h = rect
+    px, py = np.meshgrid(np.arange(x0, x0 + w), np.arange(y0, y0 + h))
+    origins, dirs = camera.rays_for_pixels(px, py)
+    t_enter, t_exit = ray_box_intersect(origins, dirs, lo, hi)
+    hit = t_exit > t_enter
+    if not np.any(hit):
+        return None
+    # Globally aligned sample indices: sample k sits at (k + 1/2) step.
+    k_lo = np.where(hit, np.ceil(t_enter / step - 0.5), 0).astype(np.int64)
+    k_hi = np.where(hit, np.ceil(t_exit / step - 0.5), 0).astype(np.int64)  # exclusive
+    k_min = int(k_lo[hit].min())
+    k_max = int(k_hi[hit].max())
+    color = np.zeros((h, w, 3), dtype=np.float64)
+    transmittance = np.ones((h, w), dtype=np.float64)
+    samples = 0
+    for k in range(k_min, k_max):
+        active = hit & (k >= k_lo) & (k < k_hi) & (transmittance > 1.0 - early_termination)
+        n_active = int(np.count_nonzero(active))
+        if not n_active:
+            continue
+        samples += n_active
+        t = (k + 0.5) * step
+        pts = origins[active] + t * dirs[active]
+        values = block.sample_world(pts)
+        rgb, extinction = tf.sample(values)
+        alpha = 1.0 - np.exp(-extinction * step)
+        contrib = transmittance[active] * alpha
+        color[active] += contrib[:, None] * rgb
+        transmittance[active] *= 1.0 - alpha
+    alpha_total = 1.0 - transmittance
+    if not np.any(alpha_total > 0):
+        return None
+    rgba = np.concatenate([color, alpha_total[..., None]], axis=-1).astype(np.float32)
+    return PartialImage(
+        rect, rgba, depth=camera.depth_of(block.world_center), samples=samples
+    )
+
+
+def render_volume_serial(
+    camera: Camera,
+    data: np.ndarray,
+    tf: TransferFunction,
+    step: float = 1.0,
+    early_termination: float = 0.999,
+) -> np.ndarray:
+    """Reference renderer: the whole volume as one block, full canvas.
+
+    Returns a premultiplied RGBA canvas (height, width, 4).  The
+    parallel pipeline's output must match this to float tolerance.
+    """
+    from repro.render.image import blank_image, composite_over
+
+    block = VolumeBlock.whole(data)
+    partial = render_block(camera, block, tf, step, early_termination)
+    canvas = blank_image(camera.width, camera.height)
+    if partial is None:
+        return canvas
+    return composite_over(canvas, [partial])

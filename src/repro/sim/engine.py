@@ -1,0 +1,192 @@
+"""The discrete-event engine and coroutine process driver."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.events import AllOf, Delay, Event, Future
+from repro.utils.errors import DeadlockError, SimulationError
+
+Yieldable = Any  # Delay | float | Future | AllOf
+
+
+class Process:
+    """Drives one coroutine (generator) inside an :class:`Engine`.
+
+    The generator's ``return`` value resolves :attr:`done`, so parent
+    processes can ``result = yield child.done``.
+    """
+
+    __slots__ = ("engine", "gen", "name", "done", "waiting_on", "_finished")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str):
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.done = Future(name=f"{name}.done")
+        self.waiting_on: str = "start"
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _step(self, send_value: Any) -> None:
+        """Resume the generator, then dispatch whatever it yields next."""
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finished = True
+            self.waiting_on = "finished"
+            self.done.resolve(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Yieldable) -> None:
+        eng = self.engine
+        if isinstance(yielded, (int, float)):
+            yielded = Delay(float(yielded))
+        if isinstance(yielded, Delay):
+            self.waiting_on = f"delay {yielded.seconds:g}s"
+            eng.schedule(yielded.seconds, lambda: self._step(None))
+        elif isinstance(yielded, Future):
+            self.waiting_on = f"future {yielded.name or hex(id(yielded))}"
+            if yielded.done:
+                # Resume via the queue so simultaneous resumptions keep
+                # deterministic seq ordering rather than deep recursion.
+                eng.schedule(0.0, lambda v=yielded.value: self._step(v))
+            else:
+                yielded.add_done_callback(lambda v: eng.schedule(0.0, lambda: self._step(v)))
+        elif isinstance(yielded, AllOf):
+            self.waiting_on = f"all-of {len(yielded.futures)} futures"
+            self._wait_all(yielded)
+        else:
+            self._finished = True
+            err = SimulationError(
+                f"process {self.name} yielded unsupported object {yielded!r}"
+            )
+            self.gen.close()
+            raise err
+
+    def _wait_all(self, group: AllOf) -> None:
+        eng = self.engine
+        futures = group.futures
+        if not futures:
+            eng.schedule(0.0, lambda: self._step([]))
+            return
+        remaining = [len(futures)]
+
+        def one_done(_value: Any) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                eng.schedule(0.0, lambda: self._step([f.value for f in futures]))
+
+        for f in futures:
+            f.add_done_callback(one_done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} waiting_on={self.waiting_on}>"
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Typical use::
+
+        eng = Engine()
+        procs = [eng.spawn(program(eng, rank), name=f"rank{rank}") for rank in range(8)]
+        eng.run()
+        results = [p.done.value for p in procs]
+
+    ``run()`` raises :class:`DeadlockError` if processes remain blocked
+    with an empty event queue — the simulated-MPI analogue of a hung job.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self._running = False
+
+    # -- scheduling ---------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self.now + delay, fn, priority)
+
+    def schedule_at(self, time: float, fn: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``fn`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before now={self.now!r}"
+            )
+        self._seq += 1
+        ev = Event(time, priority, self._seq, fn)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register a coroutine process and start it at the current time."""
+        proc = Process(self, gen, name or f"proc{len(self._processes)}")
+        self._processes.append(proc)
+        self.schedule(0.0, lambda: proc._step(None))
+        return proc
+
+    def spawn_all(self, gens: Iterable[Generator], prefix: str = "rank") -> list[Process]:
+        """Spawn many processes with numbered names."""
+        return [self.spawn(g, name=f"{prefix}{i}") for i, g in enumerate(gens)]
+
+    # -- execution ----------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains (or simulated time ``until``).
+
+        Returns the final simulated time.  Checks for deadlock: the
+        queue drained but some spawned process has not finished.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                ev = heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                if until is not None and ev.time > until:
+                    heapq.heappush(self._heap, ev)
+                    self.now = until
+                    return self.now
+                if ev.time < self.now:
+                    raise SimulationError("event queue yielded time running backwards")
+                self.now = ev.time
+                ev.fn()
+        finally:
+            self._running = False
+        blocked = [p.name for p in self._processes if not p.finished]
+        if blocked and until is None:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def step(self) -> bool:
+        """Run a single event; return False when the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fn()
+            return True
+        return False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processes(self) -> list[Process]:
+        return list(self._processes)

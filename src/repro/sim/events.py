@@ -1,0 +1,107 @@
+"""Event-queue primitives: events, futures, and waitable combinators."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.utils.errors import SimulationError
+
+
+class Event:
+    """A callback scheduled at a simulated time.
+
+    Events order by ``(time, priority, seq)``; ``seq`` is a creation
+    counter that makes ordering deterministic for simultaneous events.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} prio={self.priority} seq={self.seq}{state}>"
+
+
+class Future:
+    """A one-shot container for a value produced later in simulated time.
+
+    Processes ``yield`` a future to suspend until it is resolved.  A
+    future may only be resolved once; resolving twice is a simulation
+    bug and raises :class:`SimulationError`.
+    """
+
+    __slots__ = ("done", "value", "_callbacks", "name")
+
+    def __init__(self, name: str = ""):
+        self.done = False
+        self.value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+        self.name = name
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve the future and fire registered callbacks in order."""
+        if self.done:
+            raise SimulationError(f"future {self.name or id(self)} resolved twice")
+        self.done = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def add_done_callback(self, cb: Callable[[Any], None]) -> None:
+        """Call ``cb(value)`` when resolved (immediately if already done)."""
+        if self.done:
+            cb(self.value)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"done value={self.value!r}" if self.done else "pending"
+        return f"<Future {self.name} {state}>"
+
+
+class Delay:
+    """Suspend the yielding process for ``seconds`` of simulated time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise SimulationError(f"cannot delay by negative time {seconds!r}")
+        self.seconds = float(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Delay({self.seconds!r})"
+
+
+class AllOf:
+    """Suspend until every future in the collection resolves.
+
+    The ``yield`` expression evaluates to the list of future values in
+    the order given.  An empty collection resumes immediately.
+    """
+
+    __slots__ = ("futures",)
+
+    def __init__(self, futures: Iterable[Future]):
+        self.futures = list(futures)
+        for f in self.futures:
+            if not isinstance(f, Future):
+                raise SimulationError(f"AllOf expects Futures, got {type(f).__name__}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ndone = sum(1 for f in self.futures if f.done)
+        return f"<AllOf {ndone}/{len(self.futures)} done>"

@@ -1,0 +1,39 @@
+"""Storage substrate: byte stores, the striped parallel file system
+model, and access logging.
+
+The paper's I/O findings hinge on *which byte ranges are physically
+read* and how they land across file servers.  This package provides:
+
+* :mod:`repro.storage.store` — byte stores backing simulated files
+  (in-memory, on-disk, and size-only virtual stores),
+* :mod:`repro.storage.stripedfs` — the PVFS/GPFS-like striping model
+  (17 SANs x file servers in the paper's installation) mapping file
+  offsets to servers,
+* :mod:`repro.storage.accesslog` — physical-access records, summary
+  statistics (count, bytes, average access size, data density), and the
+  block-touch maps behind Fig. 9.
+"""
+
+from repro.storage.store import (
+    ByteStore,
+    MemoryStore,
+    FileStore,
+    VirtualStore,
+    HeaderOnlyStore,
+)
+from repro.storage.stripedfs import StripeConfig, StripedFile, StorageSystem
+from repro.storage.accesslog import Access, AccessLog, BlockMap
+
+__all__ = [
+    "ByteStore",
+    "MemoryStore",
+    "FileStore",
+    "VirtualStore",
+    "HeaderOnlyStore",
+    "StripeConfig",
+    "StripedFile",
+    "StorageSystem",
+    "Access",
+    "AccessLog",
+    "BlockMap",
+]

@@ -1,0 +1,57 @@
+"""File-system profiles: the paper's PVFS/GPFS installation and the
+Lustre system its Sec. VI says the experiments were being repeated on.
+
+A profile bundles the striping defaults and the server inventory the
+I/O models consume.  The numbers for "Lustre (ORNL-class)" describe a
+Jaguar-era center-wide Lustre: more OSTs, 1 MiB default stripes, and a
+slightly higher per-stream base rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.stripedfs import StorageSystem, StripeConfig
+from repro.utils.units import MIB
+
+
+@dataclass(frozen=True)
+class FileSystemProfile:
+    """A named storage configuration for the I/O models."""
+
+    name: str
+    stripe: StripeConfig
+    system: StorageSystem
+    base_bw_scale: float = 1.0  # multiplier on IOConstants.base_bw_Bps
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: stripe {self.stripe.stripe_size // 1024} KiB x "
+            f"{self.stripe.num_servers} servers"
+        )
+
+
+#: The paper's installation (17 SANs x 8 servers behind GPFS/PVFS).
+PVFS_BGP = FileSystemProfile(
+    name="PVFS/GPFS (ALCF BG/P)",
+    stripe=StripeConfig(stripe_size=4 * MIB, num_servers=136),
+    system=StorageSystem(),
+)
+
+#: "The effect of the file system on performance is an active area of
+#: research; we are conducting similar experiments on Lustre." (Sec. VI)
+LUSTRE_ORNL = FileSystemProfile(
+    name="Lustre (ORNL-class)",
+    stripe=StripeConfig(stripe_size=1 * MIB, num_servers=336),
+    system=StorageSystem(
+        num_sans=42,
+        servers_per_san=8,
+        peak_bw_per_san_Bps=4.8e9,
+    ),
+    base_bw_scale=1.15,
+)
+
+PROFILES: dict[str, FileSystemProfile] = {
+    "pvfs": PVFS_BGP,
+    "lustre": LUSTRE_ORNL,
+}

@@ -1,0 +1,162 @@
+"""Byte stores: the bottom of the simulated storage stack.
+
+A store is a flat, addressable array of bytes — what a parallel file
+system exports for one file.  Functional runs use :class:`MemoryStore`
+or :class:`FileStore` (real bytes); performance-mode runs at paper
+scale use :class:`VirtualStore`, which tracks only the size and
+rejects data reads (planning code never needs the bytes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO
+
+from repro.utils.errors import StorageError
+
+
+class ByteStore:
+    """Interface: random-access bytes with explicit bounds checking."""
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def read(self, offset: int, length: int) -> bytes:
+        raise NotImplementedError
+
+    def write(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0:
+            raise StorageError(f"negative offset/length ({offset}, {length})")
+        if offset + length > self.size():
+            raise StorageError(
+                f"access [{offset}, {offset + length}) beyond end of store "
+                f"(size {self.size()})"
+            )
+
+
+class MemoryStore(ByteStore):
+    """A growable in-memory store; writes past the end extend it."""
+
+    def __init__(self, initial: bytes = b""):
+        self._buf = bytearray(initial)
+
+    def size(self) -> int:
+        return len(self._buf)
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        return bytes(self._buf[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset < 0:
+            raise StorageError(f"negative write offset {offset}")
+        end = offset + len(data)
+        if end > len(self._buf):
+            self._buf.extend(b"\x00" * (end - len(self._buf)))
+        self._buf[offset:end] = data
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class FileStore(ByteStore):
+    """A store over a real file on disk (the functional-mode 'PFS')."""
+
+    def __init__(self, path: str | os.PathLike, mode: str = "rb"):
+        self.path = os.fspath(path)
+        if mode not in ("rb", "r+b", "w+b"):
+            raise StorageError(f"FileStore mode must be rb, r+b or w+b, got {mode!r}")
+        self._fh: BinaryIO = open(self.path, mode)  # noqa: SIM115 - lifetime == store
+        self._writable = mode != "rb"
+
+    def size(self) -> int:
+        self._fh.seek(0, os.SEEK_END)
+        return self._fh.tell()
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        self._fh.seek(offset)
+        data = self._fh.read(length)
+        if len(data) != length:
+            raise StorageError(f"short read at {offset} (wanted {length}, got {len(data)})")
+        return data
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not self._writable:
+            raise StorageError(f"store over {self.path!r} opened read-only")
+        if offset < 0:
+            raise StorageError(f"negative write offset {offset}")
+        self._fh.seek(offset)
+        self._fh.write(data)
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "FileStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HeaderOnlyStore(ByteStore):
+    """Real header bytes + virtual data region, for paper-scale planning.
+
+    Format readers can parse metadata (the header is real), while the
+    data region exists only as a size.  Reading data bytes raises, like
+    :class:`VirtualStore`.
+    """
+
+    def __init__(self, header: bytes, total_size: int):
+        if total_size < len(header):
+            raise StorageError(
+                f"total size {total_size} smaller than header ({len(header)} bytes)"
+            )
+        self._header = bytes(header)
+        self._size = int(total_size)
+
+    def size(self) -> int:
+        return self._size
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        if offset >= len(self._header):
+            raise StorageError(
+                f"read at {offset} is inside the virtual data region "
+                f"(header is {len(self._header)} bytes); planning code must not "
+                "touch data bytes"
+            )
+        # Reads that start in the header may overshoot into the data
+        # region (buffered header parsing does); the overshoot is
+        # zero-filled and the parser never interprets it.
+        chunk = self._header[offset : offset + length]
+        return chunk.ljust(length, b"\x00")
+
+    def write(self, offset: int, data: bytes) -> None:
+        raise StorageError("HeaderOnlyStore is read-only")
+
+
+class VirtualStore(ByteStore):
+    """Size-only store for performance-mode planning at paper scale.
+
+    Reads raise: any code path that touches actual bytes through a
+    virtual store is a bug (the planner must work from layout metadata
+    alone).
+    """
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise StorageError(f"negative store size {size}")
+        self._size = int(size)
+
+    def size(self) -> int:
+        return self._size
+
+    def read(self, offset: int, length: int) -> bytes:
+        raise StorageError("VirtualStore holds no data; reads are planning bugs")
+
+    def write(self, offset: int, data: bytes) -> None:
+        raise StorageError("VirtualStore holds no data; writes are planning bugs")

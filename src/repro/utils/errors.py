@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An experiment or machine configuration is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated processes are blocked and no events remain.
+
+    Carries the list of blocked process names so the failure message
+    points at the ranks that never completed.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        preview = ", ".join(self.blocked[:8])
+        more = "" if len(self.blocked) <= 8 else f", ... ({len(self.blocked)} total)"
+        super().__init__(f"simulation deadlock; blocked processes: {preview}{more}")
+
+
+class FormatError(ReproError):
+    """A file is malformed or violates the constraints of its format."""
+
+
+class StorageError(ReproError):
+    """The storage system model was used incorrectly (bad offsets, etc.)."""
+
+
+class CommunicationError(ReproError):
+    """Misuse of the simulated MPI layer (bad rank, mismatched buffers...)."""

@@ -1,0 +1,41 @@
+"""Small argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.errors import ConfigError
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return isinstance(n, int) and n > 0 and (n & (n - 1)) == 0
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a power of two."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_shape3(name: str, shape: Sequence[int]) -> tuple[int, int, int]:
+    """Validate a 3D shape (three positive ints) and return it as a tuple."""
+    try:
+        t = tuple(int(v) for v in shape)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{name} must be a sequence of three ints") from exc
+    if len(t) != 3 or any(v <= 0 for v in t):
+        raise ConfigError(f"{name} must be three positive ints, got {shape!r}")
+    return t  # type: ignore[return-value]

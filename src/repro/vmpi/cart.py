@@ -1,0 +1,62 @@
+"""Cartesian process grids (MPI_Cart_create-style helpers).
+
+Maps ranks onto a 3D block grid (z, y, x order, x fastest — matching
+:class:`repro.render.decomposition.BlockDecomposition`'s block indexing)
+and answers neighbour queries, including the shifted sends halo
+exchanges are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import CommunicationError
+from repro.utils.validation import check_shape3
+
+
+@dataclass(frozen=True)
+class CartGrid:
+    """A non-periodic 3D process grid over ranks 0..prod(dims)-1."""
+
+    dims: tuple[int, int, int]  # (nz, ny, nx) blocks
+
+    def __post_init__(self) -> None:
+        check_shape3("cart dims", self.dims)
+
+    @property
+    def size(self) -> int:
+        nz, ny, nx = self.dims
+        return nz * ny * nx
+
+    def coords_of(self, rank: int) -> tuple[int, int, int]:
+        if not (0 <= rank < self.size):
+            raise CommunicationError(f"rank {rank} outside cart grid of {self.size}")
+        _nz, ny, nx = self.dims
+        return (rank // (nx * ny), (rank // nx) % ny, rank % nx)
+
+    def rank_of(self, coords: tuple[int, int, int]) -> int:
+        nz, ny, nx = self.dims
+        z, y, x = coords
+        if not (0 <= z < nz and 0 <= y < ny and 0 <= x < nx):
+            raise CommunicationError(f"coords {coords} outside cart grid {self.dims}")
+        return (z * ny + y) * nx + x
+
+    def neighbor(self, rank: int, axis: int, direction: int) -> int | None:
+        """Neighbouring rank one step along ``axis`` (0=z,1=y,2=x).
+
+        ``direction`` is +1 or -1; returns None at the grid boundary
+        (the grid is not periodic — volume blocks have edges).
+        """
+        if axis not in (0, 1, 2):
+            raise CommunicationError(f"axis must be 0, 1, or 2, got {axis}")
+        if direction not in (1, -1):
+            raise CommunicationError(f"direction must be +1 or -1, got {direction}")
+        coords = list(self.coords_of(rank))
+        coords[axis] += direction
+        if not (0 <= coords[axis] < self.dims[axis]):
+            return None
+        return self.rank_of(tuple(coords))  # type: ignore[arg-type]
+
+    def shift(self, rank: int, axis: int) -> tuple[int | None, int | None]:
+        """(source, dest) pair for a +1 shift along ``axis`` (MPI_Cart_shift)."""
+        return self.neighbor(rank, axis, -1), self.neighbor(rank, axis, +1)

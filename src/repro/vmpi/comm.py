@@ -1,0 +1,143 @@
+"""Message matching: mailboxes, pending receives, requests.
+
+The :class:`MessageBoard` owns one mailbox per rank.  Deliveries and
+receives match MPI-style on ``(source, tag)`` with wildcard support,
+in posted/arrival order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.network.desnet import DESNetwork
+from repro.sim.events import Future
+from repro.utils.errors import CommunicationError
+from repro.vmpi.payload import payload_nbytes, snapshot
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Status:
+    """Receive status: who sent the matched message, with which tag."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class Request:
+    """Handle for a non-blocking operation; ``yield req.future`` to wait.
+
+    For receives, the future's value is ``(payload, Status)``.  For
+    sends it is ``None``.
+    """
+
+    __slots__ = ("future", "kind")
+
+    def __init__(self, future: Future, kind: str):
+        self.future = future
+        self.kind = kind
+
+    @property
+    def complete(self) -> bool:
+        return self.future.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.future.done else "pending"
+        return f"<Request {self.kind} {state}>"
+
+
+class _Envelope:
+    __slots__ = ("source", "tag", "payload", "nbytes")
+
+    def __init__(self, source: int, tag: int, payload: Any, nbytes: int):
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+
+
+class _PendingRecv:
+    __slots__ = ("source", "tag", "future")
+
+    def __init__(self, source: int, tag: int, future: Future):
+        self.source = source
+        self.tag = tag
+        self.future = future
+
+
+def _matches(want_source: int, want_tag: int, env: _Envelope) -> bool:
+    return (want_source in (ANY_SOURCE, env.source)) and (want_tag in (ANY_TAG, env.tag))
+
+
+class MessageBoard:
+    """Per-rank mailboxes plus the wire (a :class:`DESNetwork`)."""
+
+    def __init__(self, network: DESNetwork, nprocs: int):
+        self.network = network
+        self.nprocs = int(nprocs)
+        self._mailbox: list[deque[_Envelope]] = [deque() for _ in range(nprocs)]
+        self._pending: list[deque[_PendingRecv]] = [deque() for _ in range(nprocs)]
+
+    # -- sends ----------------------------------------------------------
+
+    def post_send(self, source: int, dest: int, tag: int, payload: Any) -> Request:
+        """Eager buffered send: completes when the wire transfer finishes."""
+        self._check_rank(dest, "dest")
+        self._check_rank(source, "source")
+        if tag < 0:
+            raise CommunicationError(f"send tag must be >= 0, got {tag}")
+        body = snapshot(payload)
+        nbytes = payload_nbytes(body)
+        wire = self.network.transfer(source, dest, nbytes)
+        done = Future(name=f"send {source}->{dest} tag={tag}")
+
+        def delivered(_value: Any) -> None:
+            self._deliver(dest, _Envelope(source, tag, body, nbytes))
+            done.resolve(None)
+
+        wire.add_done_callback(delivered)
+        return Request(done, kind=f"isend->{dest}")
+
+    # -- receives ---------------------------------------------------------
+
+    def post_recv(self, rank: int, source: int, tag: int) -> Request:
+        """Post a receive; matches an already-arrived or future envelope."""
+        self._check_rank(rank, "rank")
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        fut = Future(name=f"recv @{rank} src={source} tag={tag}")
+        box = self._mailbox[rank]
+        for i, env in enumerate(box):
+            if _matches(source, tag, env):
+                del box[i]
+                fut.resolve((env.payload, Status(env.source, env.tag, env.nbytes)))
+                return Request(fut, kind=f"irecv@{rank}")
+        self._pending[rank].append(_PendingRecv(source, tag, fut))
+        return Request(fut, kind=f"irecv@{rank}")
+
+    def _deliver(self, dest: int, env: _Envelope) -> None:
+        pend = self._pending[dest]
+        for i, p in enumerate(pend):
+            if _matches(p.source, p.tag, env):
+                del pend[i]
+                p.future.resolve((env.payload, Status(env.source, env.tag, env.nbytes)))
+                return
+        self._mailbox[dest].append(env)
+
+    # -- introspection ----------------------------------------------------
+
+    def unreceived_count(self) -> int:
+        """Envelopes delivered but never received (leaks in tests)."""
+        return sum(len(b) for b in self._mailbox)
+
+    def pending_recv_count(self) -> int:
+        return sum(len(p) for p in self._pending)
+
+    def _check_rank(self, r: int, what: str) -> None:
+        if not (0 <= r < self.nprocs):
+            raise CommunicationError(f"{what} rank {r} out of range [0, {self.nprocs})")

@@ -1,0 +1,139 @@
+"""The per-rank API handed to simulated MPI programs."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, Delay
+from repro.utils.errors import CommunicationError
+from repro.vmpi import collectives
+from repro.vmpi.comm import ANY_SOURCE, ANY_TAG, MessageBoard, Request, Status
+
+
+class RankContext:
+    """What a rank program sees: its rank, the world size, and verbs.
+
+    All communication methods are generators — call them with
+    ``yield from``.  Non-blocking variants (``isend``/``irecv``) are
+    plain methods returning :class:`Request` handles.
+    """
+
+    def __init__(self, rank: int, size: int, board: MessageBoard, engine: Engine):
+        self.rank = int(rank)
+        self.size = int(size)
+        self.board = board
+        self.engine = engine
+        self._coll_seq = 0
+        self.compute_seconds = 0.0  # accumulated local compute time
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.engine.now
+
+    def compute(self, seconds: float) -> Generator:
+        """Occupy this rank's core for ``seconds`` of local computation."""
+        if seconds < 0:
+            raise CommunicationError(f"negative compute time {seconds!r}")
+        self.compute_seconds += seconds
+        yield Delay(seconds)
+
+    # -- point-to-point ----------------------------------------------------
+
+    def isend(self, data: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (eager buffered)."""
+        return self.board.post_send(self.rank, dest, tag, data)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; the request future yields (payload, Status)."""
+        return self.board.post_recv(self.rank, source, tag)
+
+    def send(self, data: Any, dest: int, tag: int = 0) -> Generator:
+        """Blocking send: returns when the message is delivered."""
+        req = self.isend(data, dest, tag)
+        yield req.future
+        return None
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive: returns the payload."""
+        payload, _status = yield self.irecv(source, tag).future
+        return payload
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive returning ``(payload, Status)``."""
+        payload, status = yield self.irecv(source, tag).future
+        return payload, status
+
+    def sendrecv(
+        self, data: Any, dest: int, source: int = ANY_SOURCE, tag: int = 0
+    ) -> Generator:
+        """Simultaneous send and receive (deadlock-free pairwise swap)."""
+        req = self.isend(data, dest, tag)
+        payload, _status = yield self.irecv(source, tag).future
+        yield req.future
+        return payload
+
+    def wait(self, req: Request) -> Generator:
+        """Wait for one request; returns its payload for receives."""
+        value = yield req.future
+        if isinstance(value, tuple) and len(value) == 2 and isinstance(value[1], Status):
+            return value[0]
+        return value
+
+    def waitall(self, reqs: Iterable[Request]) -> Generator:
+        """Wait for every request; returns the list of receive payloads."""
+        values = yield AllOf([r.future for r in reqs])
+        out = []
+        for v in values:
+            if isinstance(v, tuple) and len(v) == 2 and isinstance(v[1], Status):
+                out.append(v[0])
+            else:
+                out.append(v)
+        return out
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self) -> Generator:
+        return (yield from collectives.barrier(self))
+
+    def bcast(self, data: Any, root: int = 0) -> Generator:
+        return (yield from collectives.bcast(self, data, root))
+
+    def reduce(self, value: Any, op: Any = "sum", root: int = 0) -> Generator:
+        return (yield from collectives.reduce(self, value, op, root))
+
+    def allreduce(self, value: Any, op: Any = "sum") -> Generator:
+        return (yield from collectives.allreduce(self, value, op))
+
+    def gather(self, value: Any, root: int = 0) -> Generator:
+        return (yield from collectives.gather(self, value, root))
+
+    def scatter(self, values: Any, root: int = 0) -> Generator:
+        return (yield from collectives.scatter(self, values, root))
+
+    def allgather(self, value: Any) -> Generator:
+        return (yield from collectives.allgather(self, value))
+
+    def alltoall(self, values: Any) -> Generator:
+        return (yield from collectives.alltoall(self, values))
+
+    def alltoallv(self, by_dest: dict[int, Any]) -> Generator:
+        return (yield from collectives.alltoallv(self, by_dest))
+
+    def split(self, color: Any, key: int | None = None) -> Generator:
+        """Collective MPI_Comm_split: returns this rank's group context."""
+        from repro.vmpi.split import split as _split
+
+        return (yield from _split(self, color, key))
+
+    def reduce_scatter(self, values: Any, op: Any = "sum") -> Generator:
+        return (yield from collectives.reduce_scatter(self, values, op))
+
+    def scan(self, value: Any, op: Any = "sum") -> Generator:
+        return (yield from collectives.scan(self, value, op))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankContext {self.rank}/{self.size}>"

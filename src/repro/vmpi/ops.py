@@ -1,0 +1,51 @@
+"""Reduction operators for the simulated MPI collectives.
+
+Named operators work elementwise on NumPy arrays and on plain scalars;
+custom binary callables are accepted anywhere an op name is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.utils.errors import CommunicationError
+
+ReduceOp = Callable[[Any, Any], Any]
+
+
+def _sum(a: Any, b: Any) -> Any:
+    return np.add(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else a + b
+
+
+def _prod(a: Any, b: Any) -> Any:
+    return np.multiply(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    return np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    return np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b)
+
+
+NAMED_OPS: dict[str, ReduceOp] = {
+    "sum": _sum,
+    "prod": _prod,
+    "max": _max,
+    "min": _min,
+}
+
+
+def resolve_op(op: str | ReduceOp) -> ReduceOp:
+    """Turn an op name or callable into a binary callable."""
+    if callable(op):
+        return op
+    try:
+        return NAMED_OPS[op]
+    except KeyError:
+        raise CommunicationError(
+            f"unknown reduce op {op!r}; known: {sorted(NAMED_OPS)}"
+        ) from None

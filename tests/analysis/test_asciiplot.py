@@ -1,0 +1,51 @@
+"""ASCII plots."""
+
+import pytest
+
+from repro.analysis.asciiplot import ascii_bars, ascii_loglog
+from repro.utils.errors import ConfigError
+
+
+class TestLogLog:
+    def test_renders_all_series(self):
+        out = ascii_loglog(
+            {"total": ([64, 128, 256], [100, 50, 25]), "io": ([64, 128, 256], [15, 15, 15])},
+            width=40,
+            height=10,
+        )
+        assert "o = total" in out
+        assert "x = io" in out
+        assert out.count("\n") >= 10
+
+    def test_marks_present(self):
+        out = ascii_loglog({"a": ([1, 10, 100], [1, 10, 100])}, width=30, height=8)
+        assert "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_loglog({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_loglog({"a": ([0, 1], [1, 2])})
+
+    def test_axis_labels(self):
+        out = ascii_loglog({"a": ([1, 2], [3, 4])}, xlabel="cores", ylabel="seconds")
+        assert "cores" in out and "seconds" in out
+
+
+class TestBars:
+    def test_scaled_to_peak(self):
+        out = ascii_bars([("raw", 10.0), ("netcdf", 40.0)], width=20)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = ascii_bars([("a", 1.0), ("longer", 2.0)])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_bars([])

@@ -1,0 +1,52 @@
+"""JSON/CSV exports and the sweep helper."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    estimate_to_dict,
+    estimates_to_csv,
+    estimates_to_json,
+    sweep_cores,
+)
+from repro.model.pipeline import DATASETS, FrameModel
+from repro.utils.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    fm = FrameModel(DATASETS["1120"])
+    return sweep_cores(fm, (64, 256, 1024))
+
+
+class TestExport:
+    def test_dict_fields(self, estimates):
+        d = estimate_to_dict(estimates[0])
+        assert d["dataset"] == "1120"
+        assert d["cores"] == 64
+        assert d["total_s"] == pytest.approx(
+            d["io_s"] + d["render_s"] + d["composite_s"]
+        )
+        assert 0 <= d["pct_io"] <= 100
+
+    def test_json_roundtrip(self, estimates):
+        arr = json.loads(estimates_to_json(estimates))
+        assert len(arr) == 3
+        assert [e["cores"] for e in arr] == [64, 256, 1024]
+
+    def test_csv_shape(self, estimates):
+        csv = estimates_to_csv(estimates)
+        lines = csv.strip().splitlines()
+        assert len(lines) == 4
+        header = lines[0].split(",")
+        assert "total_s" in header
+        assert all(len(ln.split(",")) == len(header) for ln in lines[1:])
+
+    def test_csv_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            estimates_to_csv([])
+
+    def test_sweep_monotone_render(self, estimates):
+        renders = [e.render.seconds for e in estimates]
+        assert renders == sorted(renders, reverse=True)

@@ -1,0 +1,50 @@
+"""Report formatters."""
+
+from repro.analysis.reports import (
+    PUBLISHED_SCALES_TABLE1,
+    fig3_rows,
+    format_table,
+    table2_rows,
+    time_distribution_rows,
+)
+from repro.model.pipeline import DATASETS, FrameModel
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert lines[1].startswith("-")
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_floats_rounded(self):
+        out = format_table(["x"], [[3.14159]])
+        assert "3.14" in out
+
+
+class TestPaperTables:
+    def test_table1_includes_this_work(self):
+        assert any("this work" in row[0] for row in PUBLISHED_SCALES_TABLE1)
+        # 90 billion elements at 32K cores, the paper's claim to scale.
+        ours = [r for r in PUBLISHED_SCALES_TABLE1 if "this work" in r[0]][0]
+        assert ours[1] == 32768 and ours[2] == 90.0
+
+    def test_fig3_rows_render(self):
+        fm = FrameModel(DATASETS["1120"])
+        est = {c: (fm.estimate(c), fm.estimate_original(c)) for c in (64, 256)}
+        out = fig3_rows(est)
+        assert "cores" in out and "64" in out and "256" in out
+
+    def test_table2_rows_render(self):
+        fm = FrameModel(DATASETS["2240"])
+        out = table2_rows([fm.estimate(8192)])
+        assert "2240^3" in out and "% I/O" in out
+
+    def test_time_distribution_stacked(self):
+        fm = FrameModel(DATASETS["1120"])
+        est = {c: fm.estimate(c) for c in (64, 8192)}
+        out = time_distribution_rows(est, width=20)
+        lines = out.splitlines()
+        assert "I" in lines[1] and "R" in lines[1]
+        # I/O fraction grows with core count (Fig. 6).
+        assert lines[2].count("I") > lines[1].count("I")

@@ -1,0 +1,72 @@
+"""I/O signature analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.signature import ServerLoadProfile, server_load_profile
+from repro.model.pipeline import DATASETS, FrameModel
+from repro.pio.hints import IOHints
+from repro.pio.twophase import plan_two_phase
+from repro.storage.stripedfs import StorageSystem, StripeConfig
+from repro.utils.errors import ConfigError
+
+
+class TestServerLoadProfile:
+    def test_contiguous_read_balances(self):
+        """A big contiguous read spreads evenly (round-robin striping)."""
+        stripe = StripeConfig(stripe_size=1024, num_servers=8)
+        plan = plan_two_phase([(0, 1024 * 800)], IOHints(cb_buffer_size=4096, cb_nodes=4))
+        prof = server_load_profile(plan, stripe)
+        assert prof.total_bytes == plan.physical_bytes
+        assert prof.servers_used == 8
+        assert prof.imbalance < 1.05
+
+    def test_strided_pattern_can_hotspot(self):
+        """Accesses at a stride matching the striping pile onto few servers."""
+        stripe = StripeConfig(stripe_size=1024, num_servers=8)
+        # One stripe every full rotation -> always server 0.
+        needed = [(i * 1024 * 8, 512) for i in range(64)]
+        plan = plan_two_phase(needed, IOHints(cb_buffer_size=512, cb_nodes=1))
+        prof = server_load_profile(plan, stripe)
+        assert prof.servers_used == 1
+        assert prof.effective_parallelism == pytest.approx(1.0)
+
+    def test_empty_plan(self):
+        plan = plan_two_phase([], IOHints())
+        prof = server_load_profile(plan)
+        assert prof.total_bytes == 0
+        assert prof.imbalance == 1.0
+
+    def test_per_san_rollup(self):
+        plan = plan_two_phase([(0, 10 * 4 << 20)], IOHints(cb_nodes=2))
+        prof = server_load_profile(plan)
+        sans = prof.per_san_bytes()
+        assert sans.shape == (17,)
+        assert sans.sum() == prof.total_bytes
+
+    def test_per_san_mismatch_rejected(self):
+        prof = ServerLoadProfile(np.zeros(8, dtype=np.int64), StripeConfig(num_servers=8))
+        with pytest.raises(ConfigError):
+            prof.per_san_bytes(StorageSystem())
+
+    def test_render_has_bars(self):
+        plan = plan_two_phase([(0, 200 << 20)], IOHints(cb_nodes=4))
+        text = server_load_profile(plan).render()
+        assert "SAN  0" in text and "#" in text
+
+
+class TestPaperScaleSignatures:
+    def test_all_modes_touch_every_server(self):
+        """The 1120^3 reads stripe wide enough to engage all 136 servers."""
+        fm = FrameModel(DATASETS["1120"])
+        for mode in ("raw", "netcdf", "netcdf-tuned"):
+            plan = fm.io_report(mode, 2048).plan
+            prof = server_load_profile(plan)
+            assert prof.servers_used == 136, mode
+            assert prof.imbalance < 1.6, mode
+
+    def test_untuned_moves_more_per_server(self):
+        fm = FrameModel(DATASETS["1120"])
+        raw = server_load_profile(fm.io_report("raw", 2048).plan)
+        untuned = server_load_profile(fm.io_report("netcdf", 2048).plan)
+        assert untuned.total_bytes > 3 * raw.total_bytes

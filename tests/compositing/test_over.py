@@ -1,0 +1,58 @@
+"""The over operator: algebraic properties that make sort-last work."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.render.image import blank_image, over
+
+rgba_px = hnp.arrays(
+    np.float64,
+    (3, 3, 4),
+    elements=st.floats(min_value=0.0, max_value=1.0),
+).map(_premultiply := lambda a: np.concatenate([a[..., :3] * a[..., 3:4], a[..., 3:4]], axis=-1))
+
+
+class TestOverOperator:
+    @settings(max_examples=60, deadline=None)
+    @given(rgba_px, rgba_px, rgba_px)
+    def test_associative(self, a, b, c):
+        """over(a, over(b, c)) == over(over(a, b), c) — the property that
+        lets direct-send, binary swap, and serial compositing agree."""
+        left = over(a, over(b, c))
+        right = over(over(a, b), c)
+        assert np.allclose(left, right, atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rgba_px)
+    def test_transparent_is_identity(self, a):
+        zero = np.zeros_like(a)
+        assert np.allclose(over(a, zero), a)
+        assert np.allclose(over(zero, a), a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rgba_px, rgba_px)
+    def test_opaque_front_wins(self, a, b):
+        a = a.copy()
+        a[..., 3] = 1.0
+        assert np.allclose(over(a, b), a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rgba_px, rgba_px)
+    def test_alpha_stays_in_unit_interval(self, a, b):
+        out = over(a, b)
+        assert np.all(out[..., 3] <= 1.0 + 1e-12)
+        assert np.all(out[..., 3] >= 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rgba_px, rgba_px)
+    def test_not_commutative_in_general(self, a, b):
+        # Not a required property — just documents that order matters,
+        # which is why compositing must sort by depth.
+        _ = over(a, b), over(b, a)  # both defined; inequality not asserted
+
+    def test_blank_image_shape(self):
+        img = blank_image(10, 6)
+        assert img.shape == (6, 10, 4)
+        assert img.dtype == np.float32
+        assert not img.any()

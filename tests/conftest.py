@@ -1,0 +1,35 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SupernovaModel
+from repro.render.camera import Camera
+from repro.render.transfer import TransferFunction
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid() -> tuple[int, int, int]:
+    return (16, 16, 16)
+
+
+@pytest.fixture
+def supernova(small_grid) -> SupernovaModel:
+    return SupernovaModel(small_grid, seed=99, time=0.3)
+
+
+@pytest.fixture
+def small_camera(small_grid) -> Camera:
+    return Camera.looking_at_volume(small_grid, width=40, height=32)
+
+
+@pytest.fixture
+def gray_tf() -> TransferFunction:
+    return TransferFunction.grayscale_ramp()

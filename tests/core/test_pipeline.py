@@ -1,0 +1,123 @@
+"""End-to-end pipeline: images and instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.compositing.policy import IDENTITY_POLICY, fixed_policy
+from repro.core import ParallelVolumeRenderer
+from repro.data import SupernovaModel, extract_variable_raw, write_vh1_h5lite, write_vh1_netcdf
+from repro.pio import H5LiteHandle, IOHints, NetCDFHandle, RawHandle
+from repro.render import Camera, TransferFunction, render_volume_serial
+from repro.storage.accesslog import AccessLog
+from repro.vmpi import MPIWorld
+
+GRID = (16, 16, 16)
+STEP = 0.8
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SupernovaModel(GRID, seed=3)
+
+
+@pytest.fixture(scope="module")
+def cam():
+    return Camera.looking_at_volume(GRID, width=40, height=36)
+
+
+@pytest.fixture(scope="module")
+def tf(model):
+    return TransferFunction.supernova(*model.value_range("vx"))
+
+
+@pytest.fixture(scope="module")
+def reference(model, cam, tf):
+    return render_volume_serial(cam, model.field("vx"), tf, step=STEP)
+
+
+def make_pvr(nprocs, cam, tf, **kwargs):
+    world = MPIWorld.for_cores(nprocs)
+    hints = kwargs.pop("hints", IOHints(cb_buffer_size=4096, cb_nodes=2))
+    return ParallelVolumeRenderer(world, cam, tf, step=STEP, hints=hints, **kwargs)
+
+
+class TestFrameCorrectness:
+    @pytest.mark.parametrize("nprocs", (4, 8, 16))
+    def test_netcdf_frame_matches_serial(self, nprocs, model, cam, tf, reference):
+        handle = NetCDFHandle(write_vh1_netcdf(model), "vx")
+        res = make_pvr(nprocs, cam, tf).render_frame(handle)
+        assert np.abs(res.image - reference).max() < 5e-3
+
+    def test_raw_frame_matches_serial(self, model, cam, tf, reference):
+        handle = RawHandle(extract_variable_raw(model, "vx"))
+        res = make_pvr(8, cam, tf).render_frame(handle)
+        assert np.abs(res.image - reference).max() < 5e-3
+
+    def test_h5lite_frame_matches_serial(self, model, cam, tf, reference):
+        handle = H5LiteHandle(write_vh1_h5lite(model), "vx")
+        res = make_pvr(8, cam, tf).render_frame(handle)
+        assert np.abs(res.image - reference).max() < 5e-3
+
+    def test_compositor_limiting_same_image(self, model, cam, tf):
+        handle = RawHandle(extract_variable_raw(model, "vx"))
+        full = make_pvr(8, cam, tf, policy=IDENTITY_POLICY).render_frame(handle)
+        limited = make_pvr(8, cam, tf, policy=fixed_policy(2)).render_frame(handle)
+        assert np.allclose(full.image, limited.image, atol=1e-5)
+        assert limited.num_compositors == 2
+        assert full.num_compositors == 8
+
+
+class TestFrameInstrumentation:
+    def test_timing_components_positive(self, model, cam, tf):
+        handle = NetCDFHandle(write_vh1_netcdf(model), "vx")
+        res = make_pvr(8, cam, tf).render_frame(handle)
+        t = res.timing
+        assert t.io_s > 0 and t.render_s > 0 and t.composite_s > 0
+        assert t.total_s == pytest.approx(t.io_s + t.render_s + t.composite_s)
+        assert t.pct_io + t.pct_render + t.pct_composite == pytest.approx(100.0)
+
+    def test_io_dominates_like_the_paper(self, model, cam, tf):
+        """At any scale the modeled collective read dwarfs rendering of
+        a small image — the paper's central observation."""
+        handle = NetCDFHandle(write_vh1_netcdf(model), "vx")
+        res = make_pvr(8, cam, tf).render_frame(handle)
+        assert res.timing.pct_io > 50
+
+    def test_io_report_attached(self, model, cam, tf):
+        handle = NetCDFHandle(write_vh1_netcdf(model), "vx")
+        log = AccessLog()
+        res = make_pvr(8, cam, tf).render_frame(handle, log=log)
+        assert res.io_report.physical_bytes >= res.io_report.requested_bytes * 0.9
+        assert log.count == res.io_report.num_accesses
+
+    def test_str_of_timing(self, model, cam, tf):
+        handle = RawHandle(extract_variable_raw(model, "vx"))
+        res = make_pvr(4, cam, tf).render_frame(handle)
+        assert "io" in str(res.timing)
+
+    def test_messages_counted(self, model, cam, tf):
+        handle = RawHandle(extract_variable_raw(model, "vx"))
+        res = make_pvr(8, cam, tf).render_frame(handle)
+        assert res.messages >= res.schedule.total_messages
+
+
+class TestGhostModes:
+    def test_exchange_mode_matches_io_mode(self, model, cam, tf):
+        """Halo messages and overlapping reads produce identical frames."""
+        from repro.data import extract_variable_raw
+        from repro.pio import RawHandle
+
+        handle = RawHandle(extract_variable_raw(model, "vx"))
+        via_io = make_pvr(8, cam, tf, ghost_mode="io").render_frame(handle)
+        via_msgs = make_pvr(8, cam, tf, ghost_mode="exchange").render_frame(handle)
+        assert np.allclose(via_io.image, via_msgs.image, atol=1e-5)
+        # Exchange mode reads fewer bytes (no overlap)...
+        assert via_msgs.io_report.requested_bytes < via_io.io_report.requested_bytes
+        # ...but moves more messages (the halos).
+        assert via_msgs.messages > via_io.messages
+
+    def test_bad_ghost_mode_rejected(self, model, cam, tf):
+        from repro.utils.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="ghost_mode"):
+            make_pvr(4, cam, tf, ghost_mode="psychic")

@@ -1,0 +1,66 @@
+"""Synthetic supernova model."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import VARIABLES, SupernovaModel, supernova_field
+from repro.utils.errors import ConfigError
+
+
+class TestSupernovaModel:
+    def test_deterministic_in_seed(self):
+        a = SupernovaModel((12, 12, 12), seed=1).field("vx")
+        b = SupernovaModel((12, 12, 12), seed=1).field("vx")
+        c = SupernovaModel((12, 12, 12), seed=2).field("vx")
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_time_evolves_structure(self):
+        a = SupernovaModel((12, 12, 12), time=0.0).field("density")
+        b = SupernovaModel((12, 12, 12), time=1.0).field("density")
+        assert not np.array_equal(a, b)
+
+    def test_all_five_variables(self):
+        m = SupernovaModel((8, 8, 8))
+        fields = m.all_fields()
+        assert set(fields) == set(VARIABLES)
+        for f in fields.values():
+            assert f.shape == (8, 8, 8)
+            assert f.dtype == np.float32
+            assert np.all(np.isfinite(f))
+
+    def test_velocity_signed_antisymmetric_lobes(self):
+        """The velocity components have both signs (the Fig. 1 look)."""
+        vx = SupernovaModel((24, 24, 24)).field("vx")
+        assert vx.min() < -0.05
+        assert vx.max() > 0.05
+
+    def test_density_positive(self):
+        d = SupernovaModel((16, 16, 16)).field("density")
+        assert d.min() > 0
+
+    def test_exterior_quieter_than_interior(self):
+        m = SupernovaModel((32, 32, 32))
+        p = m.field("pressure")
+        corner = abs(p[:3, :3, :3]).mean()
+        center = abs(p[13:19, 13:19, 13:19]).mean()
+        assert center > 2 * corner
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ConfigError):
+            SupernovaModel((8, 8, 8)).field("temperature")
+
+    def test_value_range_brackets_data(self):
+        m = SupernovaModel((16, 16, 16))
+        for v in VARIABLES:
+            lo, hi = m.value_range(v)
+            f = m.field(v)
+            assert lo <= f.min() and f.max() <= hi + 0.3
+
+    def test_convenience_wrapper(self):
+        f = supernova_field((8, 8, 8), "vy", seed=3)
+        assert f.shape == (8, 8, 8)
+
+    def test_anisotropic_grid(self):
+        f = SupernovaModel((8, 12, 16)).field("vz")
+        assert f.shape == (8, 12, 16)

@@ -1,0 +1,75 @@
+"""VH-1-style file writers."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SupernovaModel
+from repro.data.vh1 import (
+    VH1_VARIABLES,
+    extract_variable_raw,
+    write_vh1_h5lite,
+    write_vh1_netcdf,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SupernovaModel((10, 10, 10), seed=77)
+
+
+class TestNetCDFTimestep:
+    def test_five_record_variables(self, model):
+        nc = write_vh1_netcdf(model)
+        assert set(nc.variables) == set(VH1_VARIABLES)
+        assert all(v.isrec for v in nc.variables.values())
+        assert nc.numrecs == 10
+
+    def test_data_roundtrip(self, model):
+        nc = write_vh1_netcdf(model)
+        for name in VH1_VARIABLES:
+            assert np.array_equal(nc.read_variable(name), model.field(name))
+
+    def test_interleaving_matches_fig8(self, model):
+        """Variables interleave record by record in definition order."""
+        nc = write_vh1_netcdf(model)
+        begins = [nc.variables[n].begin for n in VH1_VARIABLES]
+        assert begins == sorted(begins)
+        slab = 10 * 10 * 4
+        assert begins[1] - begins[0] == slab
+        assert nc.record_stride == 5 * slab
+
+    def test_file_size_is_5x_raw(self, model):
+        """"a file size approximately five times as large as a single
+        variable in our raw format.\""""
+        nc = write_vh1_netcdf(model)
+        raw = extract_variable_raw(model)
+        ratio = nc.store.size() / raw.store.size()
+        assert 4.9 < ratio < 5.2
+
+    def test_fixed_layout_variant(self, model):
+        nc = write_vh1_netcdf(model, version=5, record_axis_unlimited=False)
+        assert not any(v.isrec for v in nc.variables.values())
+        for name in VH1_VARIABLES:
+            assert np.array_equal(nc.read_variable(name), model.field(name))
+
+    def test_attributes_present(self, model):
+        nc = write_vh1_netcdf(model)
+        assert "supernova" in nc.global_attributes["title"]
+        assert nc.global_attributes["seed"] == 77
+
+
+class TestOtherFormats:
+    def test_raw_extraction(self, model):
+        vol = extract_variable_raw(model, "vy")
+        assert np.array_equal(vol.read_all(), model.field("vy"))
+
+    def test_h5lite_conversion(self, model):
+        f = write_vh1_h5lite(model)
+        assert set(f.datasets) == set(VH1_VARIABLES)
+        for name in VH1_VARIABLES:
+            assert np.array_equal(f.read_dataset(name), model.field(name))
+
+    def test_h5lite_contiguous_per_variable(self, model):
+        f = write_vh1_h5lite(model)
+        for name in VH1_VARIABLES:
+            assert len(f.datasets[name].layout.covering_intervals()) == 1

@@ -1,0 +1,102 @@
+"""h5lite format: round-trips, metadata accesses, virtual files."""
+
+import numpy as np
+import pytest
+
+from repro.formats.h5lite import (
+    META_BLOCK_BYTES,
+    NUM_META_BLOCKS,
+    H5LiteFile,
+    H5LiteWriter,
+)
+from repro.storage.store import MemoryStore
+from repro.utils.errors import FormatError
+
+
+class TestRoundTrip:
+    def test_multiple_datasets(self, rng):
+        w = H5LiteWriter()
+        data = {n: rng.random((4, 5, 6)).astype(np.float32) for n in ("a", "b", "c")}
+        for n, d in data.items():
+            w.create_dataset(n, d)
+        f = w.write()
+        for n, d in data.items():
+            assert np.array_equal(f.read_dataset(n), d)
+
+    def test_subarray(self, rng):
+        w = H5LiteWriter()
+        d = rng.random((8, 8, 8)).astype(np.float32)
+        w.create_dataset("v", d)
+        f = w.write()
+        assert np.array_equal(f.read_subarray("v", (2, 0, 4), (3, 8, 2)), d[2:5, :, 4:6])
+
+    def test_data_is_contiguous(self, rng):
+        """The paper's Sec. V-B observation: one solid extent per dataset."""
+        w = H5LiteWriter()
+        d = rng.random((4, 4, 4)).astype(np.float32)
+        w.create_dataset("v", d)
+        f = w.write()
+        intervals = f.datasets["v"].layout.covering_intervals()
+        assert len(intervals) == 1
+        assert intervals[0][1] == d.nbytes
+
+    def test_duplicate_rejected(self):
+        w = H5LiteWriter()
+        w.create_dataset("v", np.zeros((2, 2), np.float32))
+        with pytest.raises(FormatError, match="already defined"):
+            w.create_dataset("v", np.zeros((2, 2), np.float32))
+
+    def test_unknown_dataset_rejected(self, rng):
+        w = H5LiteWriter()
+        w.create_dataset("v", rng.random((2, 2)).astype(np.float32))
+        with pytest.raises(FormatError, match="no dataset"):
+            w.write().dataset("nope")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatError, match="magic"):
+            H5LiteFile(MemoryStore(b"CDF\x01" + b"\x00" * 100))
+
+
+class TestMetadataAccesses:
+    def test_eleven_plus_two_small_reads(self, rng):
+        """Matches the paper: 11 tiny per-dataset metadata accesses
+        (plus superblock and index entry), all under 600 bytes."""
+        w = H5LiteWriter()
+        w.create_dataset("v", rng.random((4, 4)).astype(np.float32))
+        f = w.write()
+        reads = f.metadata_accesses("v")
+        assert len(reads) == NUM_META_BLOCKS + 2
+        assert all(length <= 600 for _off, length in reads)
+
+    def test_meta_block_size_under_paper_bound(self):
+        assert META_BLOCK_BYTES <= 600
+
+
+class TestVirtual:
+    def test_header_only_layout_matches_real(self, rng):
+        shapes = {"a": (6, 5, 4), "b": (3, 3, 3)}
+        wv = H5LiteWriter()
+        wr = H5LiteWriter()
+        for n, s in shapes.items():
+            wv.create_virtual_dataset(n, s, "<f4")
+            wr.create_dataset(n, rng.random(s).astype(np.float32))
+        fv = wv.write_header_only()
+        fr = wr.write()
+        for n in shapes:
+            assert fv.datasets[n].data_offset == fr.datasets[n].data_offset
+            assert fv.datasets[n].shape == fr.datasets[n].shape
+        assert fv.store.size() == fr.store.size()
+
+    def test_virtual_paper_scale(self):
+        w = H5LiteWriter()
+        for n in ("pressure", "density", "vx", "vy", "vz"):
+            w.create_virtual_dataset(n, (1120, 1120, 1120), "<f4")
+        f = w.write_header_only()
+        assert f.store.size() > 28e9
+        assert f.datasets["vz"].nbytes == 1120**3 * 4
+
+    def test_virtual_write_without_header_only_rejected(self):
+        w = H5LiteWriter()
+        w.create_virtual_dataset("v", (4, 4), "<f4")
+        with pytest.raises(FormatError, match="virtual"):
+            w.write()

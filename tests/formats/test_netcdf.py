@@ -1,0 +1,313 @@
+"""netCDF classic format: self round-trips, scipy cross-validation,
+layout semantics, and the paper's format constraints."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.io import netcdf_file
+
+from repro.formats.netcdf import (
+    NC_FLOAT,
+    NC_INT,
+    NetCDFFile,
+    NetCDFWriter,
+    nc_type_for_dtype,
+)
+from repro.utils.errors import FormatError
+
+
+def build_vh1_style(version=2, grid=(6, 5, 4), nvars=5, seed=0):
+    rng = np.random.default_rng(seed)
+    nz, ny, nx = grid
+    names = [f"var{i}" for i in range(nvars)]
+    data = {n: rng.random(grid).astype(np.float32) for n in names}
+    w = NetCDFWriter(version=version)
+    w.create_dimension("z", None)
+    w.create_dimension("y", ny)
+    w.create_dimension("x", nx)
+    for n in names:
+        w.create_variable(n, np.float32, ("z", "y", "x"))
+        w.set_variable_data(n, data[n])
+    return w, data
+
+
+class TestWriterValidation:
+    def test_only_one_record_dimension(self):
+        w = NetCDFWriter()
+        w.create_dimension("t", None)
+        with pytest.raises(FormatError, match="one record"):
+            w.create_dimension("t2", None)
+
+    def test_record_dim_must_be_first(self):
+        w = NetCDFWriter()
+        w.create_dimension("t", None)
+        w.create_dimension("x", 4)
+        with pytest.raises(FormatError, match="first dimension"):
+            w.create_variable("v", np.float32, ("x", "t"))
+
+    def test_unknown_dimension_rejected(self):
+        w = NetCDFWriter()
+        with pytest.raises(FormatError, match="undefined dimension"):
+            w.create_variable("v", np.float32, ("nope",))
+
+    def test_duplicate_names_rejected(self):
+        w = NetCDFWriter()
+        w.create_dimension("x", 2)
+        w.create_variable("v", np.float32, ("x",))
+        with pytest.raises(FormatError, match="already defined"):
+            w.create_variable("v", np.float32, ("x",))
+
+    def test_shape_mismatch_rejected(self):
+        w = NetCDFWriter()
+        w.create_dimension("x", 4)
+        w.create_variable("v", np.float32, ("x",))
+        with pytest.raises(FormatError, match="does not match"):
+            w.set_variable_data("v", np.zeros(5, np.float32))
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(FormatError):
+            NetCDFWriter(version=3)
+
+    def test_int64_variable_requires_cdf5(self):
+        w = NetCDFWriter(version=1)
+        w.create_dimension("x", 2)
+        with pytest.raises(FormatError, match="CDF-5"):
+            w.create_variable("v", np.int64, ("x",))
+
+    def test_record_count_mismatch_rejected(self):
+        w = NetCDFWriter()
+        w.create_dimension("t", None)
+        w.create_variable("a", np.float32, ("t",))
+        w.create_variable("b", np.float32, ("t",))
+        w.set_variable_data("a", np.zeros(3, np.float32))
+        w.set_variable_data("b", np.zeros(4, np.float32))
+        with pytest.raises(FormatError, match="disagree"):
+            w.write()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("version", (1, 2, 5))
+    def test_vh1_style_roundtrip(self, version):
+        w, data = build_vh1_style(version=version)
+        nc = NetCDFFile.from_bytes(w.write().store.getvalue())
+        assert nc.version == version
+        assert nc.numrecs == 6
+        for n, d in data.items():
+            assert np.array_equal(nc.read_variable(n), d)
+
+    @pytest.mark.parametrize("version", (1, 2, 5))
+    def test_subarray_reads(self, version):
+        w, data = build_vh1_style(version=version)
+        nc = w.write()
+        sub = nc.read_subarray("var2", (1, 2, 1), (3, 2, 2))
+        assert np.array_equal(sub, data["var2"][1:4, 2:4, 1:3])
+
+    def test_fixed_variables_roundtrip(self):
+        w = NetCDFWriter(version=1)
+        w.create_dimension("x", 7)
+        w.create_variable("ints", np.int32, ("x",))
+        w.create_variable("floats", np.float64, ("x",))
+        w.create_variable("scalar", np.float32, ())
+        w.set_variable_data("ints", np.arange(7, dtype=np.int32))
+        w.set_variable_data("floats", np.linspace(0, 1, 7))
+        w.set_variable_data("scalar", np.float32(3.5))
+        nc = w.write()
+        assert np.array_equal(nc.read_variable("ints"), np.arange(7))
+        assert np.allclose(nc.read_variable("floats"), np.linspace(0, 1, 7))
+        assert nc.read_variable("scalar") == np.float32(3.5)
+
+    def test_attributes_roundtrip(self):
+        w = NetCDFWriter()
+        w.create_dimension("x", 2)
+        w.set_attribute("title", "hello")
+        w.set_attribute("step", 1530)
+        w.set_attribute("weights", np.array([1.5, 2.5]))
+        w.create_variable("v", np.float32, ("x",), {"units": "cm/s"})
+        w.set_variable_data("v", np.zeros(2, np.float32))
+        nc = w.write()
+        assert nc.global_attributes["title"] == "hello"
+        assert nc.global_attributes["step"] == 1530
+        assert np.allclose(nc.global_attributes["weights"], [1.5, 2.5])
+        assert nc.variables["v"].attributes["units"] == "cm/s"
+
+    def test_single_record_variable_unpadded(self):
+        """The spec's special case: one record var is packed tightly."""
+        w = NetCDFWriter()
+        w.create_dimension("t", None)
+        w.create_dimension("x", 3)  # 3 floats = 12 bytes... but i2 -> 6 bytes
+        w.create_variable("v", np.int16, ("t", "x"))
+        w.set_variable_data("v", np.arange(12, dtype=np.int16).reshape(4, 3))
+        nc = w.write()
+        assert nc.record_stride == 6  # unpadded (not rounded to 8)
+        assert np.array_equal(nc.read_variable("v"), np.arange(12).reshape(4, 3))
+
+    def test_multi_record_variables_padded(self):
+        w = NetCDFWriter()
+        w.create_dimension("t", None)
+        w.create_dimension("x", 3)
+        for n in ("a", "b"):
+            w.create_variable(n, np.int16, ("t", "x"))
+            w.set_variable_data(n, np.arange(6, dtype=np.int16).reshape(2, 3))
+        nc = w.write()
+        assert nc.record_stride == 16  # two slabs of 6 padded to 8
+        assert np.array_equal(nc.read_variable("b"), np.arange(6).reshape(2, 3))
+
+
+class TestScipyCrossValidation:
+    @pytest.mark.parametrize("version", (1, 2))
+    def test_scipy_reads_our_files(self, version):
+        w, data = build_vh1_style(version=version)
+        raw = w.write().store.getvalue()
+        f = netcdf_file(io.BytesIO(raw), "r", mmap=False)
+        for n, d in data.items():
+            assert np.array_equal(f.variables[n][:], d)
+
+    def test_we_read_scipy_files(self):
+        buf = io.BytesIO()
+        f = netcdf_file(buf, "w")
+        f.createDimension("t", None)
+        f.createDimension("x", 5)
+        v = f.createVariable("rec", "f8", ("t", "x"))
+        v[:] = np.arange(15.0).reshape(3, 5)
+        u = f.createVariable("fix", "i4", ("x",))
+        u[:] = np.arange(5, dtype=np.int32)
+        f.flush()
+        nc = NetCDFFile.from_bytes(buf.getvalue())
+        assert np.array_equal(nc.read_variable("rec"), np.arange(15.0).reshape(3, 5))
+        assert np.array_equal(nc.read_variable("fix"), np.arange(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_random_shapes_cross_validate(self, nrec, ny, nx, nvars):
+        rng = np.random.default_rng(nrec * 100 + ny * 10 + nx)
+        w = NetCDFWriter(version=1)
+        w.create_dimension("t", None)
+        w.create_dimension("y", ny)
+        w.create_dimension("x", nx)
+        data = {}
+        for i in range(nvars):
+            name = f"v{i}"
+            data[name] = rng.random((nrec, ny, nx)).astype(np.float32)
+            w.create_variable(name, np.float32, ("t", "y", "x"))
+            w.set_variable_data(name, data[name])
+        raw = w.write().store.getvalue()
+        f = netcdf_file(io.BytesIO(raw), "r", mmap=False)
+        for n, d in data.items():
+            assert np.array_equal(f.variables[n][:], d)
+
+
+class TestFormatConstraints:
+    def test_cdf1_large_offsets_rejected(self):
+        """CDF-1 cannot address beyond 2 GiB (32-bit begin offsets)."""
+        w = NetCDFWriter(version=1)
+        w.create_dimension("y", 1 << 14)
+        w.create_dimension("x", 1 << 14)
+        # Two 1 GiB fixed variables push the third's begin past 2^31.
+        for name in ("a", "b", "c"):
+            w.create_variable(name, np.float32, ("y", "x"))
+        with pytest.raises(FormatError, match="CDF-1|32-bit"):
+            w.write_header_only(numrecs=0)
+
+    def test_classic_4gib_fixed_var_rejected(self):
+        """The Sec. V-A constraint that forced record variables."""
+        w = NetCDFWriter(version=2)
+        w.create_dimension("z", 1120)
+        w.create_dimension("y", 1120)
+        w.create_dimension("x", 1120)
+        w.create_variable("pressure", np.float64, ("z", "y", "x"))  # 11 GB
+        with pytest.raises(FormatError, match="4 GiB"):
+            w.write_header_only(numrecs=0)
+
+    def test_cdf5_allows_huge_fixed_vars(self):
+        w = NetCDFWriter(version=5)
+        w.create_dimension("z", 1120)
+        w.create_dimension("y", 1120)
+        w.create_dimension("x", 1120)
+        w.create_variable("pressure", np.float32, ("z", "y", "x"))
+        nc = w.write_header_only(numrecs=0)
+        v = nc.variables["pressure"]
+        assert v.vsize == 1120**3 * 4
+        assert not v.isrec
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatError, match="magic"):
+            NetCDFFile.from_bytes(b"HDF5" + b"\x00" * 100)
+
+    def test_nc_type_mapping(self):
+        assert nc_type_for_dtype(np.float32) == NC_FLOAT
+        assert nc_type_for_dtype(np.int32) == NC_INT
+        with pytest.raises(FormatError):
+            nc_type_for_dtype(np.complex64)
+
+
+class TestPaperScalePlanning:
+    def test_virtual_27gb_file(self):
+        """The 1120^3, 5-variable time step without 27 GB of RAM."""
+        w = NetCDFWriter(version=2)
+        w.create_dimension("z", None)
+        w.create_dimension("y", 1120)
+        w.create_dimension("x", 1120)
+        for n in ("pressure", "density", "vx", "vy", "vz"):
+            w.create_variable(n, np.float32, ("z", "y", "x"))
+        nc = w.write_header_only(numrecs=1120)
+        assert nc.store.size() > 28e9
+        v = nc.variables["pressure"]
+        assert v.shape == (1120, 1120, 1120)
+        # One record = one 2D slice = 1120*1120*4 bytes (the paper's
+        # tuning unit).
+        assert nc.record_stride == 5 * 1120 * 1120 * 4
+        intervals = v.layout.covering_intervals()
+        assert len(intervals) == 1120
+        assert intervals[0][1] == 1120 * 1120 * 4
+
+    def test_total_size_predicts_write(self):
+        w, _data = build_vh1_style(version=2)
+        predicted = w.total_size()
+        assert w.write().store.size() == predicted
+
+    def test_describe_layout_shows_interleaving(self):
+        w, _ = build_vh1_style(version=2, nvars=2)
+        text = w.write().describe_layout(max_records=2)
+        assert "record 0 of 'var0'" in text
+        assert "record 0 of 'var1'" in text
+        assert "record 1 of 'var0'" in text
+
+
+class TestEdgeCases:
+    def test_zero_records(self):
+        w = NetCDFWriter()
+        w.create_dimension("t", None)
+        w.create_dimension("x", 3)
+        w.create_variable("v", np.float32, ("t", "x"))
+        nc = w.write()
+        assert nc.numrecs == 0
+        assert nc.read_variable("v").shape == (0, 3)
+        assert nc.variables["v"].layout.covering_intervals() == []
+
+    def test_variable_without_data_zero_filled(self):
+        w = NetCDFWriter()
+        w.create_dimension("x", 4)
+        w.create_variable("v", np.int32, ("x",))
+        nc = w.write()
+        assert np.array_equal(nc.read_variable("v"), np.zeros(4, np.int32))
+
+    def test_long_names_and_unicode(self):
+        w = NetCDFWriter()
+        w.create_dimension("x" * 60, 2)
+        w.create_variable("velocity_" + "x" * 50, np.float32, ("x" * 60,))
+        w.set_variable_data("velocity_" + "x" * 50, np.ones(2, np.float32))
+        nc = NetCDFFile.from_bytes(w.write().store.getvalue())
+        assert np.array_equal(nc.read_variable("velocity_" + "x" * 50), [1, 1])
+
+    def test_empty_file_roundtrip(self):
+        w = NetCDFWriter()
+        nc = NetCDFFile.from_bytes(w.write().store.getvalue())
+        assert nc.variables == {}
+        assert nc.dimensions == {}

@@ -1,0 +1,50 @@
+"""Raw volume format."""
+
+import numpy as np
+import pytest
+
+from repro.formats.raw import RawVolume
+from repro.storage.store import MemoryStore
+from repro.utils.errors import FormatError, StorageError
+
+
+class TestRawVolume:
+    def test_roundtrip(self, rng):
+        data = rng.random((4, 5, 6)).astype(np.float32)
+        vol = RawVolume.write(data)
+        assert np.array_equal(vol.read_all(), data)
+
+    def test_subarray(self, rng):
+        data = rng.random((6, 6, 6)).astype(np.float32)
+        vol = RawVolume.write(data)
+        sub = vol.read_subarray((1, 2, 3), (2, 3, 2))
+        assert np.array_equal(sub, data[1:3, 2:5, 3:5])
+
+    def test_file_ranges_row_major(self):
+        vol = RawVolume.virtual((4, 4, 4))
+        ranges = list(vol.subarray_file_ranges((0, 0, 0), (1, 2, 4)))
+        assert ranges == [(0, 32)]  # two full rows merge into one run
+
+    def test_virtual_volume_size(self):
+        vol = RawVolume.virtual((1120, 1120, 1120))
+        assert vol.nbytes == 1120**3 * 4  # the 5.3 GB preprocessed file
+
+    def test_virtual_reads_rejected(self):
+        vol = RawVolume.virtual((8, 8, 8))
+        with pytest.raises(StorageError):
+            vol.read_all()
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(FormatError):
+            RawVolume.write(np.zeros((4, 4), np.float32))
+
+    def test_short_store_rejected(self):
+        with pytest.raises(FormatError, match="cannot hold"):
+            RawVolume(MemoryStore(b"\x00" * 10), (4, 4, 4))
+
+    def test_dtype_conversion(self, rng):
+        data = rng.random((3, 3, 3))
+        vol = RawVolume.write(data, dtype=">f8")
+        got = vol.read_all()
+        assert got.dtype.byteorder in ("=", "<", "|")
+        assert np.allclose(got, data)

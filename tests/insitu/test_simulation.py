@@ -1,0 +1,78 @@
+"""The solver: stability, physics sanity, parallel == serial."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import supernova_field
+from repro.insitu.simulation import AdvectionDiffusionSim
+from repro.render.decomposition import BlockDecomposition
+from repro.render.ghost import ghost_exchange
+from repro.utils.errors import ConfigError
+from repro.vmpi import MPIWorld
+
+GRID = (12, 12, 12)
+
+
+@pytest.fixture
+def sim():
+    return AdvectionDiffusionSim(GRID, omega=0.1, kappa=0.05)
+
+
+@pytest.fixture
+def field():
+    return supernova_field(GRID, "density", seed=2)
+
+
+class TestSerialSolver:
+    def test_constant_field_is_fixed_point(self, sim):
+        u = np.full(GRID, 0.7, dtype=np.float32)
+        out = sim.run_serial(u, 5)
+        assert np.allclose(out, 0.7, atol=1e-5)
+
+    def test_bounded_by_maximum_principle(self, sim, field):
+        """Upwind advection + diffusion cannot create new extrema."""
+        out = sim.run_serial(field, 10)
+        assert out.max() <= field.max() + 1e-4
+        assert out.min() >= field.min() - 1e-4
+
+    def test_diffusion_shrinks_variance(self, field):
+        sim = AdvectionDiffusionSim(GRID, omega=0.0, kappa=0.1)
+        out = sim.run_serial(field, 10)
+        assert out.std() < field.std()
+
+    def test_pure_advection_moves_structure(self, field):
+        sim = AdvectionDiffusionSim(GRID, omega=0.2, kappa=0.0)
+        out = sim.run_serial(field, 5)
+        assert not np.allclose(out, field, atol=1e-3)
+
+    def test_unstable_dt_rejected(self):
+        with pytest.raises(ConfigError, match="unstable"):
+            AdvectionDiffusionSim(GRID, omega=0.1, kappa=0.05, dt=100.0)
+
+    def test_shape_mismatch_rejected(self, sim):
+        with pytest.raises(ConfigError):
+            sim.step_serial(np.zeros((4, 4, 4), np.float32))
+
+
+class TestParallelSolver:
+    @pytest.mark.parametrize("nblocks,block_grid", [(8, (2, 2, 2)), (4, (4, 1, 1)), (6, (1, 2, 3))])
+    def test_matches_serial_exactly(self, sim, field, nblocks, block_grid):
+        steps = 4
+        serial = sim.run_serial(field, steps)
+        dec = BlockDecomposition(GRID, nblocks, block_grid=block_grid)
+
+        def program(ctx):
+            b = dec.block(ctx.rank)
+            sl = tuple(slice(s, s + c) for s, c in zip(b.start, b.count))
+            u = np.ascontiguousarray(field[sl])
+            for _ in range(steps):
+                padded, gl = yield from ghost_exchange(ctx, u, dec, ghost=1)
+                u = sim.step_padded(padded, gl, b.start, b.count)
+            return u
+
+        res = MPIWorld.for_cores(nblocks).run(program)
+        assembled = np.empty(GRID, dtype=np.float32)
+        for b, out in zip(dec.blocks(), res.values):
+            sl = tuple(slice(s, s + c) for s, c in zip(b.start, b.count))
+            assembled[sl] = out
+        assert np.array_equal(assembled, serial), "parallel must equal serial bitwise"

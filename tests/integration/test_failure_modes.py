@@ -1,0 +1,115 @@
+"""Failure injection: hangs, malformed files, misuse — loud, not silent."""
+
+import numpy as np
+import pytest
+
+from repro.data import SupernovaModel, write_vh1_netcdf
+from repro.formats.netcdf import NetCDFFile
+from repro.pio import IOHints, NetCDFHandle, collective_read_blocks
+from repro.storage.store import MemoryStore
+from repro.utils.errors import (
+    CommunicationError,
+    DeadlockError,
+    FormatError,
+    StorageError,
+)
+from repro.vmpi import MPIWorld
+
+
+class TestCommunicationFailures:
+    def test_unmatched_recv_deadlocks_with_rank_names(self):
+        def program(ctx):
+            if ctx.rank == 2:
+                yield from ctx.recv(source=0, tag=1)  # nobody sends
+            else:
+                yield from ctx.compute(0.001)
+            return None
+
+        with pytest.raises(DeadlockError, match="rank2"):
+            MPIWorld.for_cores(4).run(program)
+
+    def test_partial_barrier_deadlocks(self):
+        def program(ctx):
+            if ctx.rank % 2 == 0:
+                yield from ctx.barrier()
+            return None
+
+        with pytest.raises(DeadlockError):
+            MPIWorld.for_cores(4).run(program)
+
+    def test_orphan_message_reported(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send("lost", dest=1, tag=5)
+            yield from ctx.compute(0.01)
+            return None
+
+        with pytest.raises(CommunicationError, match="never received"):
+            MPIWorld.for_cores(2).run(program)
+
+    def test_leak_check_can_be_disabled(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send("lost", dest=1, tag=5)
+            yield from ctx.compute(0.01)
+            return ctx.rank
+
+        res = MPIWorld.for_cores(2).run(program, check_leaks=False)
+        assert res.values == [0, 1]
+
+
+class TestMalformedFiles:
+    def test_truncated_header(self):
+        model = SupernovaModel((6, 6, 6), seed=1)
+        raw = write_vh1_netcdf(model).store.getvalue()
+        with pytest.raises(FormatError, match="truncated"):
+            NetCDFFile.from_bytes(raw[:40])
+
+    def test_corrupted_tag(self):
+        model = SupernovaModel((6, 6, 6), seed=1)
+        raw = bytearray(write_vh1_netcdf(model).store.getvalue())
+        raw[8] = 0x7F  # clobber the dim_list tag
+        with pytest.raises(FormatError):
+            NetCDFFile.from_bytes(bytes(raw))
+
+    def test_truncated_data_region(self):
+        """A file whose header promises more data than exists."""
+        model = SupernovaModel((6, 6, 6), seed=1)
+        raw = write_vh1_netcdf(model).store.getvalue()
+        nc = NetCDFFile(MemoryStore(raw[: len(raw) // 2]))
+        with pytest.raises(StorageError, match="beyond end"):
+            nc.read_variable("vz")
+
+
+class TestPipelineMisuse:
+    def test_block_request_outside_variable(self):
+        model = SupernovaModel((8, 8, 8), seed=1)
+        handle = NetCDFHandle(write_vh1_netcdf(model), "vx")
+        with pytest.raises(FormatError):
+            collective_read_blocks(handle, [((0, 0, 0), (9, 8, 8))], IOHints())
+
+    def test_wrong_rank_count_vs_blocks(self):
+        """More ranks than voxels along an axis fails loudly."""
+        from repro.core import ParallelVolumeRenderer
+        from repro.render import Camera, TransferFunction
+        from repro.utils.errors import ConfigError
+
+        model = SupernovaModel((4, 4, 4), seed=1)
+        handle = NetCDFHandle(write_vh1_netcdf(model), "vx")
+        cam = Camera.looking_at_volume((4, 4, 4), width=16, height=16)
+        pvr = ParallelVolumeRenderer(
+            MPIWorld.for_cores(256), cam, TransferFunction.grayscale_ramp()
+        )
+        with pytest.raises(ConfigError):
+            pvr.render_frame(handle)
+
+    def test_nan_data_still_terminates(self):
+        """NaNs in data must not hang or crash the renderer."""
+        from repro.render import Camera, TransferFunction, VolumeBlock, render_block
+
+        data = np.full((8, 8, 8), np.nan, dtype=np.float32)
+        cam = Camera.looking_at_volume((8, 8, 8), width=16, height=16)
+        tf = TransferFunction.grayscale_ramp()
+        result = render_block(cam, VolumeBlock.whole(data), tf, step=1.0)
+        if result is not None:
+            assert result.rgba.shape[2] == 4

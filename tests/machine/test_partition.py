@@ -1,0 +1,76 @@
+"""Partition shapes, modes, and the standard ALCF size table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.partition import (
+    STANDARD_PARTITIONS,
+    Partition,
+    torus_shape_for_nodes,
+)
+from repro.utils.errors import ConfigError
+
+
+class TestTorusShapes:
+    def test_standard_shapes_cover_nodes(self):
+        for nodes, shape in STANDARD_PARTITIONS.items():
+            assert int(np.prod(shape)) == nodes
+
+    def test_midplane_is_8x8x8(self):
+        assert torus_shape_for_nodes(512) == (8, 8, 8)
+
+    def test_full_32k_cores_partition(self):
+        # 32K cores in VN mode = 8192 nodes.
+        assert torus_shape_for_nodes(8192) == (16, 16, 32)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_fallback_factorization_covers(self, nodes):
+        shape = torus_shape_for_nodes(nodes)
+        assert int(np.prod(shape)) == nodes
+        assert all(s >= 1 for s in shape)
+
+
+class TestPartition:
+    def test_for_cores_vn_mode(self):
+        p = Partition.for_cores(32768)
+        assert p.nodes == 8192
+        assert p.nprocs == 32768
+        assert p.shape == (16, 16, 32)
+
+    def test_core_counts_of_the_paper_sweep(self):
+        for cores in (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768):
+            p = Partition.for_cores(cores)
+            assert p.nprocs == cores
+
+    def test_sub_midplane_is_mesh(self):
+        assert not Partition(64).is_torus
+        assert Partition(512).is_torus
+
+    def test_io_nodes(self):
+        assert Partition.for_cores(64).io_nodes == 1
+        assert Partition.for_cores(32768).io_nodes == 128
+
+    def test_ram_per_process(self):
+        p = Partition(16, processes_per_node=4)
+        assert p.ram_per_process == 2**29
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigError, match="modes"):
+            Partition(16, processes_per_node=3)
+
+    def test_indivisible_cores_rejected(self):
+        with pytest.raises(ConfigError, match="divisible"):
+            Partition.for_cores(66, processes_per_node=4)
+
+    def test_oversized_partition_rejected(self):
+        with pytest.raises(ConfigError, match="exceeds machine"):
+            Partition(100_000)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError, match="does not cover"):
+            Partition(64, shape=(4, 4, 5))
+
+    def test_str_mentions_kind(self):
+        assert "mesh" in str(Partition(64))
+        assert "torus" in str(Partition(512))

@@ -1,0 +1,52 @@
+"""Machine spec sanity: the numbers in Sec. III-A."""
+
+import pytest
+
+from repro.machine.specs import BGP_ALCF, MachineSpec, NodeSpec
+from repro.utils.errors import ConfigError
+from repro.utils.units import GIB, TIB
+
+
+class TestNodeSpec:
+    def test_defaults_match_paper(self):
+        n = NodeSpec()
+        assert n.cores == 4
+        assert n.clock_hz == 850e6
+        assert n.ram_bytes == 2 * GIB
+
+    def test_ram_per_process_vn_mode(self):
+        assert NodeSpec().ram_per_process(4) == GIB // 2
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            NodeSpec(cores=0)
+
+
+class TestMachineSpec:
+    def test_alcf_size(self):
+        assert BGP_ALCF.total_nodes == 40 * 1024
+        assert BGP_ALCF.total_cores == 163840  # "160,000-core Blue Gene/P"
+
+    def test_total_memory_is_80tb(self):
+        assert BGP_ALCF.total_ram_bytes == 80 * TIB
+
+    def test_io_node_ratio(self):
+        # One I/O node per 64 compute nodes.
+        assert BGP_ALCF.io_nodes_for(64) == 1
+        assert BGP_ALCF.io_nodes_for(65) == 2
+        assert BGP_ALCF.io_nodes_for(8192) == 128
+
+    def test_io_nodes_never_zero(self):
+        assert BGP_ALCF.io_nodes_for(1) == 1
+
+    def test_torus_bandwidth_is_3_4_gbit(self):
+        assert BGP_ALCF.torus_link.bandwidth_Bps == pytest.approx(3.4e9 / 8)
+
+    def test_tree_bandwidth_is_twice_torus(self):
+        assert BGP_ALCF.tree_link.bandwidth_Bps == pytest.approx(
+            2 * BGP_ALCF.torus_link.bandwidth_Bps
+        )
+
+    def test_custom_machine(self):
+        m = MachineSpec(nodes_per_rack=16, racks=2)
+        assert m.total_nodes == 32

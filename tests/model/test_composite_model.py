@@ -1,0 +1,122 @@
+"""Composite model: vectorized schedule vs the functional one, and the
+contention behaviours behind Figs. 3-4."""
+
+import numpy as np
+import pytest
+
+from repro.compositing.policy import IDENTITY_POLICY, PAPER_POLICY
+from repro.compositing.schedule import schedule_from_geometry
+from repro.model.composite import (
+    CompositeTimeModel,
+    block_footprints,
+    vectorized_schedule_stats,
+)
+from repro.model.pipeline import DATASETS, FrameModel
+from repro.render.camera import Camera
+from repro.render.decomposition import BlockDecomposition
+
+
+class TestVectorizedScheduleConsistency:
+    @pytest.mark.parametrize("n,m", [(8, 8), (27, 27), (27, 9), (64, 16)])
+    def test_matches_functional_schedule(self, n, m):
+        """The NumPy schedule and the object schedule are the same thing."""
+        grid = (32, 32, 32)
+        cam = Camera.looking_at_volume(grid, width=96, height=96)
+        dec = BlockDecomposition(grid, n)
+        functional = schedule_from_geometry(dec, cam, m)
+        vectorized = vectorized_schedule_stats(dec, cam, m)
+        assert vectorized.total_messages == functional.total_messages
+        assert vectorized.total_bytes == functional.total_bytes
+        # Per-source message multisets agree.
+        f_by_src = np.bincount([msg.src for msg in functional.messages], minlength=n)
+        v_by_src = np.bincount(vectorized.src_block, minlength=n)
+        assert np.array_equal(f_by_src, v_by_src)
+
+    def test_footprints_match_camera(self):
+        grid = (16, 16, 16)
+        cam = Camera.looking_at_volume(grid, width=64, height=48)
+        dec = BlockDecomposition(grid, 8)
+        rects = block_footprints(dec, cam)
+        for b in dec.blocks():
+            z, y, x = b.start
+            lo = np.array([x, y, z], dtype=float)
+            hi = np.array(
+                [
+                    min(x + b.count[2], 15),
+                    min(y + b.count[1], 15),
+                    min(z + b.count[0], 15),
+                ],
+                dtype=float,
+            )
+            expected = cam.footprint(lo, hi)
+            x0, y0, x1, y1 = rects[b.index]
+            assert expected == (x0, y0, x1 - x0, y1 - y0)
+
+
+class TestContentionBehaviours:
+    @pytest.fixture(scope="class")
+    def fm(self):
+        return FrameModel(DATASETS["1120"])
+
+    def test_original_flat_through_1k(self, fm):
+        times = [fm.composite_stage(c, IDENTITY_POLICY).seconds for c in (64, 256, 1024)]
+        assert max(times) < 2.5 * min(times)
+        assert max(times) < 0.3
+
+    def test_original_blows_up_beyond_8k(self, fm):
+        """Fig. 3: beyond 8K the compositing time exceeds rendering."""
+        c16 = fm.composite_stage(16384, IDENTITY_POLICY).seconds
+        r16 = fm.render_stage(16384).seconds
+        assert c16 > r16
+        c8 = fm.composite_stage(8192, IDENTITY_POLICY).seconds
+        r8 = fm.render_stage(8192).seconds
+        assert c8 < 1.2 * r8  # at 8K they are comparable, not yet blown up
+
+    def test_improvement_factor_at_32k(self, fm):
+        """~30x faster compositing with 2K compositors at 32K cores."""
+        orig = fm.composite_stage(32768, IDENTITY_POLICY).seconds
+        improved = fm.composite_stage(32768, PAPER_POLICY).seconds
+        assert 15 < orig / improved < 60
+
+    def test_frame_reduction_around_24pct(self, fm):
+        e = fm.estimate(32768)
+        o = fm.estimate_original(32768)
+        reduction = 1 - e.total_s / o.total_s
+        assert 0.12 < reduction < 0.35
+
+    def test_improved_stays_subsecond_everywhere(self, fm):
+        for cores in (1024, 4096, 16384, 32768):
+            assert fm.composite_stage(cores, PAPER_POLICY).seconds < 0.5
+
+    def test_message_size_shrinks_with_cores(self, fm):
+        """Fig. 4's x-axis pairing: more processors, smaller messages."""
+        s1 = fm.composite_stage(1024, IDENTITY_POLICY).mean_message_bytes
+        s32 = fm.composite_stage(32768, IDENTITY_POLICY).mean_message_bytes
+        assert s32 < s1 / 8
+
+    def test_achieved_bandwidth_falls_off_peak(self, fm):
+        """Fig. 4: original scheme's bandwidth collapses at scale."""
+        small = fm.composite_stage(1024, IDENTITY_POLICY)
+        big = fm.composite_stage(32768, IDENTITY_POLICY)
+        assert big.achieved_bandwidth_Bps < small.achieved_bandwidth_Bps
+
+    def test_empty_schedule_priced_as_setup(self):
+        m = CompositeTimeModel()
+        from repro.model.composite import ScheduleStats
+
+        stats = ScheduleStats(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64), 4, 2
+        )
+        assert m.price(stats).seconds == m.c.setup_s
+
+
+class TestStripsConsistency:
+    def test_strips_vectorized_matches_functional(self):
+        """The strips tile mode agrees between the two schedule builders."""
+        grid = (32, 32, 32)
+        cam = Camera.looking_at_volume(grid, width=96, height=96)
+        dec = BlockDecomposition(grid, 27)
+        functional = schedule_from_geometry(dec, cam, 9, strips=True)
+        vectorized = vectorized_schedule_stats(dec, cam, 9, strips=True)
+        assert vectorized.total_messages == functional.total_messages
+        assert vectorized.total_bytes == functional.total_bytes

@@ -1,0 +1,109 @@
+"""I/O time model: the bandwidth law and its paper-anchored behaviours."""
+
+import pytest
+
+from repro.machine.partition import Partition
+from repro.model.constants import DEFAULT_CONSTANTS
+from repro.model.io import IOTimeModel
+from repro.model.pipeline import DATASETS, FrameModel
+from repro.utils.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def fm():
+    return FrameModel(DATASETS["1120"])
+
+
+class TestBandwidthLaw:
+    def test_more_aggregators_more_bandwidth(self):
+        m = IOTimeModel()
+        bw = [m.aggregate_bandwidth(16e6, 1e6, naggs, 30_000_000_000) for naggs in (1, 8, 64)]
+        assert bw[0] < bw[1] < bw[2]
+
+    def test_larger_accesses_more_bandwidth(self):
+        m = IOTimeModel()
+        assert m.aggregate_bandwidth(16e6, 1e6, 8, 3e10) > m.aggregate_bandwidth(64e3, 1e6, 8, 3e10)
+
+    def test_tiny_requests_per_proc_hurt(self):
+        m = IOTimeModel()
+        assert m.aggregate_bandwidth(16e6, 10e6, 8, 3e10) > m.aggregate_bandwidth(16e6, 50e3, 8, 3e10)
+
+    def test_zero_aggregators_rejected(self):
+        with pytest.raises(ConfigError):
+            IOTimeModel().aggregate_bandwidth(16e6, 1e6, 0, 1e9)
+
+    def test_default_aggregators_one_per_ion(self):
+        m = IOTimeModel()
+        assert m.default_aggregators(Partition.for_cores(32768)) == 128
+        assert m.default_aggregators(Partition.for_cores(64)) == 1
+
+
+class TestPaperAnchors:
+    """Loose brackets around the paper's measured I/O numbers."""
+
+    def test_raw_64_cores_around_350MBs(self, fm):
+        st = fm.io_stage("raw", 64)
+        assert 0.2e9 < st.effective_bw_Bps < 0.6e9
+
+    def test_raw_16k_cores_around_1GBs(self, fm):
+        st = fm.io_stage("raw", 16384)
+        assert 0.7e9 < st.effective_bw_Bps < 1.4e9
+
+    def test_raw_bandwidth_grows_with_cores(self, fm):
+        bws = [fm.io_stage("raw", c).effective_bw_Bps for c in (64, 1024, 16384)]
+        assert bws[0] < bws[1] < bws[2]
+
+    def test_untuned_netcdf_4_to_5x_slower_at_low_cores(self, fm):
+        raw = fm.io_stage("raw", 64).seconds
+        untuned = fm.io_stage("netcdf", 64).seconds
+        assert 3.0 < untuned / raw < 6.5
+
+    def test_tuning_roughly_doubles_netcdf(self, fm):
+        untuned = fm.io_stage("netcdf", 1024).seconds
+        tuned = fm.io_stage("netcdf-tuned", 1024).seconds
+        assert 1.5 < untuned / tuned < 4.0
+
+    def test_density_ordering_of_the_five_modes(self, fm):
+        """Fig. 10: raw >= {netcdf64, h5lite} > tuned > untuned."""
+        d = {mode: fm.io_stage(mode, 2048).density for mode in
+             ("raw", "netcdf64", "h5lite", "netcdf-tuned", "netcdf")}
+        assert d["raw"] >= d["netcdf64"] >= d["h5lite"] * 0.99
+        assert d["netcdf64"] > d["netcdf-tuned"] > d["netcdf"]
+
+    def test_time_anticorrelates_with_density(self, fm):
+        """Fig. 10's headline: strong correlation of time and density."""
+        modes = ("raw", "netcdf64", "h5lite", "netcdf-tuned", "netcdf")
+        stages = [fm.io_stage(m, 2048) for m in modes]
+        by_density = sorted(stages, key=lambda s: -s.density)
+        times = [s.seconds for s in by_density]
+        assert times == sorted(times)
+
+    def test_meta_cost_scales_with_procs(self, fm):
+        small = fm.io_stage("h5lite", 64)
+        large = fm.io_stage("h5lite", 32768)
+        assert large.meta_seconds > small.meta_seconds
+
+    def test_empty_report_free(self):
+        from repro.pio.hints import IOHints
+        from repro.pio.reader import IOReport
+        from repro.pio.twophase import TwoPhasePlan
+
+        report = IOReport(TwoPhasePlan([], 0, 1, IOHints()), 0, 0, 0, 4, 100)
+        st = IOTimeModel().price(report, Partition.for_cores(64))
+        assert st.seconds == 0.0
+
+
+class TestUpsampledDatasets:
+    def test_table2_bandwidth_range(self):
+        """Read bandwidths land in the paper's 0.8-2.2 GB/s envelope."""
+        for name in ("2240", "4480"):
+            fm = FrameModel(DATASETS[name])
+            for cores in (8192, 16384, 32768):
+                bw = fm.estimate(cores).read_bw_Bps
+                assert 0.8e9 < bw < 2.2e9, (name, cores, bw)
+
+    def test_bandwidth_grows_with_cores_table2(self):
+        for name in ("2240", "4480"):
+            fm = FrameModel(DATASETS[name])
+            bws = [fm.estimate(c).read_bw_Bps for c in (8192, 16384, 32768)]
+            assert bws[0] < bws[1] < bws[2]

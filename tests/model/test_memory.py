@@ -1,0 +1,51 @@
+"""In-core memory feasibility (the paper's 80 TB argument)."""
+
+import pytest
+
+from repro.model.memory import frame_memory, min_cores_in_core
+from repro.model.pipeline import DATASETS, PaperDataset
+from repro.utils.errors import ConfigError
+
+
+class TestFrameMemory:
+    def test_1120_fits_everywhere_in_sweep(self):
+        """The paper ran 1120^3 from 64 cores up — it must fit at 64."""
+        est = frame_memory(DATASETS["1120"], 64)
+        assert est.fits, str(est)
+
+    def test_4480_needs_thousands_of_cores(self):
+        """The paper ran 4480^3 only at 8K+; far smaller counts cannot
+        hold 90 billion elements in 2 GB nodes."""
+        assert not frame_memory(DATASETS["4480"], 256).fits
+        assert frame_memory(DATASETS["4480"], 8192).fits
+
+    def test_min_cores_ordering(self):
+        mins = {name: min_cores_in_core(DATASETS[name]) for name in DATASETS}
+        assert mins["1120"] <= mins["2240"] <= mins["4480"]
+        assert mins["4480"] >= 1024
+
+    def test_memory_shrinks_with_cores(self):
+        d = DATASETS["2240"]
+        a = frame_memory(d, 2048).total_bytes
+        b = frame_memory(d, 16384).total_bytes
+        assert b < a
+
+    def test_smp_mode_quadruples_budget(self):
+        d = DATASETS["4480"]
+        vn = frame_memory(d, 4096, processes_per_node=4)
+        smp = frame_memory(d, 4096, processes_per_node=1)
+        assert smp.budget_bytes == 4 * vn.budget_bytes
+
+    def test_str_verdict(self):
+        assert "fits" in str(frame_memory(DATASETS["1120"], 1024))
+        bad = frame_memory(DATASETS["4480"], 256)
+        assert "DOES NOT FIT" in str(bad)
+
+    def test_never_fitting_dataset_raises(self):
+        monster = PaperDataset("monster", 40000, 4096)
+        with pytest.raises(ConfigError, match="does not fit"):
+            min_cores_in_core(monster)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigError):
+            frame_memory(DATASETS["1120"], 0)

@@ -1,0 +1,49 @@
+"""Rendering time model."""
+
+import pytest
+
+from repro.model.render import RenderTimeModel
+from repro.utils.errors import ConfigError
+
+
+class TestRenderModel:
+    def test_linear_scaling(self):
+        """Rendering is embarrassingly parallel: double cores, half time."""
+        m = RenderTimeModel()
+        t1 = m.price((1120, 1120, 1120), 1600, 1600, 8192).seconds
+        t2 = m.price((1120, 1120, 1120), 1600, 1600, 16384).seconds
+        assert t1 == pytest.approx(2 * t2)
+
+    def test_16k_cores_visualization_anchor(self):
+        """Sec. IV-A: visualization-only time ~0.6 s at 16K cores;
+        rendering is most of it."""
+        m = RenderTimeModel()
+        t = m.price((1120, 1120, 1120), 1600, 1600, 16384).seconds
+        assert 0.3 < t < 0.8
+
+    def test_samples_scale_with_image_and_depth(self):
+        m = RenderTimeModel()
+        base = m.total_samples((100, 100, 100), 100, 100)
+        assert m.total_samples((100, 100, 100), 200, 200) == pytest.approx(4 * base)
+        assert m.total_samples((200, 200, 200), 100, 100) == pytest.approx(2 * base)
+
+    def test_finer_step_more_samples(self):
+        m = RenderTimeModel()
+        assert m.total_samples((64,) * 3, 64, 64, step=0.5) == pytest.approx(
+            2 * m.total_samples((64,) * 3, 64, 64, step=1.0)
+        )
+
+    def test_invalid_args(self):
+        m = RenderTimeModel()
+        with pytest.raises(ConfigError):
+            m.price((64,) * 3, 64, 64, 0)
+        with pytest.raises(ConfigError):
+            m.total_samples((64,) * 3, 0, 64)
+        with pytest.raises(ConfigError):
+            m.total_samples((64,) * 3, 64, 64, step=-1)
+
+    def test_imbalance_inflates(self):
+        m = RenderTimeModel()
+        r = m.price((64,) * 3, 64, 64, 8)
+        ideal = r.samples_per_proc / m.c.samples_per_second_per_core
+        assert r.seconds > ideal

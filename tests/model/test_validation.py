@@ -1,0 +1,37 @@
+"""The fidelity scorecard: calibration must stay anchored to the paper."""
+
+import pytest
+
+from repro.model.validation import fidelity_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fidelity_report()
+
+
+class TestFidelity:
+    def test_every_anchor_within_factor_2(self, report):
+        bad = [a for a in report.anchors if a.log2_error > 1.0]
+        assert not bad, "anchors off by >2x: " + ", ".join(
+            f"{a.name} ({a.ratio:.2f}x)" for a in bad
+        )
+
+    def test_mean_error_tight(self, report):
+        # On average the model lands within ~35% of the paper.
+        assert report.mean_log2_error < 0.45, report.table()
+
+    def test_headline_anchors_tighter(self, report):
+        by_name = {a.name: a for a in report.anchors}
+        assert by_name["best frame time at 16K (s)"].log2_error < 0.25
+        assert by_name["composite improvement at 32K (x)"].log2_error < 0.35
+        assert by_name["tuned physical bytes (GB)"].log2_error < 0.5
+
+    def test_report_table_renders(self, report):
+        text = report.table()
+        assert "anchor" in text and "ratio" in text
+        assert len(text.splitlines()) == len(report.anchors) + 2
+
+    def test_coverage(self, report):
+        assert len(report.anchors) >= 15
+        assert report.within_factor_2 == 1.0

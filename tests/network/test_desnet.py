@@ -1,0 +1,101 @@
+"""Event-driven transport semantics."""
+
+import pytest
+
+from repro.machine.mapping import RankMapping
+from repro.machine.partition import Partition
+from repro.network.costs import LinkCostModel
+from repro.network.desnet import DESNetwork
+from repro.network.topology import TorusTopology
+from repro.sim.engine import Engine
+from repro.utils.errors import CommunicationError
+
+
+def make_net(nodes=16, ppn=4, order="XYZT"):
+    part = Partition(nodes, processes_per_node=ppn)
+    eng = Engine()
+    mapping = RankMapping(part, order)
+    topo = TorusTopology(part.shape, torus=part.is_torus)
+    return eng, DESNetwork(eng, topo, mapping)
+
+
+class TestTransfer:
+    def test_delivery_happens_later(self):
+        eng, net = make_net()
+        fut = net.transfer(0, 17, 1000)
+        assert not fut.done
+        eng.run()
+        assert fut.done
+        assert eng.now > 0
+
+    def test_same_node_is_fast(self):
+        eng, net = make_net(order="TXYZ")  # ranks 0..3 share node 0
+        net.transfer(0, 1, 1 << 20)
+        t_local = _drain(eng)
+        eng2, net2 = make_net(order="TXYZ")
+        net2.transfer(0, 4 * 15, 1 << 20)  # far node
+        t_remote = _drain(eng2)
+        assert t_local < t_remote
+
+    def test_larger_messages_take_longer(self):
+        eng, net = make_net()
+        net.transfer(0, 40, 100)
+        t_small = _drain(eng)
+        eng2, net2 = make_net()
+        net2.transfer(0, 40, 10 << 20)
+        t_big = _drain(eng2)
+        assert t_big > t_small
+
+    def test_injection_serializes(self):
+        """Two big sends from one node take about twice one send."""
+        eng, net = make_net()
+        net.transfer(0, 40, 4 << 20)
+        net.transfer(0, 44, 4 << 20)
+        t_two = _drain(eng)
+        eng2, net2 = make_net()
+        net2.transfer(0, 44, 4 << 20)
+        t_one = _drain(eng2)
+        assert t_two > 1.8 * t_one
+
+    def test_different_senders_overlap(self):
+        eng, net = make_net()
+        net.transfer(0, 40, 4 << 20)
+        net.transfer(7, 47, 4 << 20)
+        t_par = _drain(eng)
+        eng2, net2 = make_net()
+        net2.transfer(0, 40, 4 << 20)
+        t_one = _drain(eng2)
+        assert t_par < 1.5 * t_one
+
+    def test_stats_accumulate(self):
+        eng, net = make_net()
+        net.transfer(0, 1, 100)
+        net.transfer(1, 2, 200)
+        eng.run()
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 300
+        net.reset_stats()
+        assert net.messages_sent == 0
+
+    def test_negative_size_rejected(self):
+        _eng, net = make_net()
+        with pytest.raises(CommunicationError):
+            net.transfer(0, 1, -5)
+
+    def test_more_hops_more_latency(self):
+        link = LinkCostModel(sw_overhead_s=0.0)
+        part = Partition(64, processes_per_node=1)
+        mapping = RankMapping(part, "XYZT")
+        topo = TorusTopology(part.shape, torus=part.is_torus)
+        times = []
+        for dst in (1, 2):  # 1 hop vs 2 hops along x
+            eng = Engine()
+            net = DESNetwork(eng, topo, mapping, link)
+            net.transfer(0, dst, 0)
+            times.append(_drain(eng))
+        assert times[1] == pytest.approx(times[0] + link.hop_latency_s)
+
+
+def _drain(eng: Engine) -> float:
+    eng.run()
+    return eng.now

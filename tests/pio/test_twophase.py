@@ -1,0 +1,240 @@
+"""Two-phase planner and executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pio.hints import IOHints
+from repro.pio.twophase import (
+    TwoPhaseReader,
+    merge_intervals,
+    plan_data_sieving,
+    plan_two_phase,
+)
+from repro.storage.accesslog import AccessLog
+from repro.storage.store import MemoryStore
+from repro.storage.stripedfs import StripedFile
+from repro.utils.errors import StorageError
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=0, max_value=5_000),
+    ),
+    max_size=30,
+)
+
+
+class TestMergeIntervals:
+    def test_merges_overlaps(self):
+        assert merge_intervals([(0, 10), (5, 10)]) == [(0, 15)]
+
+    def test_merges_touching(self):
+        assert merge_intervals([(0, 10), (10, 5)]) == [(0, 15)]
+
+    def test_keeps_gaps(self):
+        assert merge_intervals([(0, 10), (20, 5)]) == [(0, 10), (20, 5)]
+
+    def test_min_gap_coalesces(self):
+        assert merge_intervals([(0, 10), (20, 5)], min_gap=11) == [(0, 25)]
+
+    def test_drops_empty(self):
+        assert merge_intervals([(5, 0), (1, 2)]) == [(1, 2)]
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(StorageError):
+            merge_intervals([(-1, 5)])
+
+    @settings(max_examples=50, deadline=None)
+    @given(intervals_strategy)
+    def test_merged_intervals_are_sorted_disjoint_and_cover(self, intervals):
+        merged = merge_intervals(intervals)
+        for i in range(1, len(merged)):
+            prev_end = merged[i - 1][0] + merged[i - 1][1]
+            assert merged[i][0] > prev_end  # strictly separated
+        # Coverage: every input byte is inside some merged interval.
+        for off, length in intervals:
+            if length == 0:
+                continue
+            assert any(m0 <= off and off + length <= m0 + ml for m0, ml in merged)
+
+
+class TestPlanTwoPhase:
+    def test_contiguous_request_reads_exactly_windows(self):
+        plan = plan_two_phase([(0, 1000)], IOHints(cb_buffer_size=256, cb_nodes=1))
+        assert plan.physical_bytes == 1000
+        assert plan.num_accesses == 4
+        assert plan.density == 1.0
+
+    def test_empty_request(self):
+        plan = plan_two_phase([], IOHints())
+        assert plan.num_accesses == 0
+        assert plan.density == 0.0
+
+    def test_sparse_request_skips_empty_windows(self):
+        # Needed bytes every 1000, window 100 -> only windows with data read.
+        needed = [(i * 1000, 10) for i in range(10)]
+        plan = plan_two_phase(needed, IOHints(cb_buffer_size=100, cb_nodes=1))
+        assert plan.requested_bytes == 100
+        assert plan.num_accesses == 10
+        assert plan.physical_bytes <= 10 * 100
+
+    def test_windows_larger_than_gaps_read_everything(self):
+        """The untuned-netCDF effect: big windows straddle every hole."""
+        needed = [(i * 1000, 10) for i in range(10)]
+        plan = plan_two_phase(needed, IOHints(cb_buffer_size=2000, cb_nodes=1))
+        span = needed[-1][0] + 10 - needed[0][0]
+        assert plan.physical_bytes >= span * 0.9
+
+    def test_trimmed_mode_reads_less(self):
+        needed = [(i * 1000, 10) for i in range(10)]
+        full = plan_two_phase(needed, IOHints(cb_buffer_size=100, cb_nodes=1))
+        trimmed = plan_two_phase(
+            needed, IOHints(cb_buffer_size=100, cb_nodes=1, read_full_window=False)
+        )
+        assert trimmed.physical_bytes == 100  # exactly the needed bytes
+        assert trimmed.physical_bytes <= full.physical_bytes
+
+    def test_aggregators_partition_domains(self):
+        plan = plan_two_phase([(0, 10_000)], IOHints(cb_buffer_size=1000, cb_nodes=4))
+        per_agg = plan.per_aggregator_bytes()
+        assert per_agg.sum() == plan.physical_bytes
+        assert np.all(per_agg == 2500)
+
+    def test_accesses_never_overlap_domains(self):
+        plan = plan_two_phase([(0, 9999)], IOHints(cb_buffer_size=512, cb_nodes=3))
+        spans = sorted((a.offset, a.offset + a.length) for a in plan.accesses)
+        for i in range(1, len(spans)):
+            assert spans[i][0] >= spans[i - 1][1]
+
+    def test_request_past_file_end_rejected(self):
+        with pytest.raises(StorageError, match="past file end"):
+            plan_two_phase([(0, 100)], IOHints(), file_size=50)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        intervals_strategy,
+        st.integers(min_value=64, max_value=4096),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_plan_covers_every_requested_byte(self, intervals, buf, naggs):
+        plan = plan_two_phase(intervals, IOHints(cb_buffer_size=buf, cb_nodes=naggs))
+        merged = merge_intervals(intervals)
+        # Every needed interval must be fully covered by the accesses.
+        covered = merge_intervals([(a.offset, a.length) for a in plan.accesses])
+        for off, length in merged:
+            pos = off
+            for c0, cl in covered:
+                if c0 <= pos < c0 + cl:
+                    pos = c0 + cl
+                if pos >= off + length:
+                    break
+            assert pos >= off + length, (off, length, covered)
+
+
+class TestDataSieving:
+    def test_small_gaps_sieved_through(self):
+        plan = plan_data_sieving([(0, 10), (50, 10)], IOHints(ind_rd_buffer_size=100))
+        assert plan.physical_bytes == 60  # reads straight through the hole
+
+    def test_large_gaps_split(self):
+        plan = plan_data_sieving([(0, 10), (5000, 10)], IOHints(ind_rd_buffer_size=100))
+        assert plan.physical_bytes == 20
+
+    def test_chunked_by_buffer(self):
+        plan = plan_data_sieving([(0, 1000)], IOHints(ind_rd_buffer_size=256))
+        assert plan.num_accesses == 4
+
+
+class TestTwoPhaseReader:
+    def _file(self, nbytes=8192):
+        data = bytes(range(256)) * (nbytes // 256)
+        return StripedFile(MemoryStore(data))
+
+    def test_collective_read_returns_each_ranks_bytes(self):
+        f = self._file()
+        reader = TwoPhaseReader(f, IOHints(cb_buffer_size=512, cb_nodes=2))
+        per_rank = [[(0, 10)], [(100, 20), (4000, 5)], [(8000, 192)]]
+        out, plan = reader.collective_read(per_rank)
+        raw = f.store.getvalue()
+        assert out[0] == raw[0:10]
+        assert out[1] == raw[100:120] + raw[4000:4005]
+        assert out[2] == raw[8000:8192]
+        assert plan.requested_bytes == 10 + 25 + 192
+
+    def test_overlapping_rank_requests_ok(self):
+        """Ghost zones: neighbouring ranks request overlapping bytes."""
+        f = self._file()
+        reader = TwoPhaseReader(f)
+        out, _plan = reader.collective_read([[(0, 100)], [(50, 100)]])
+        raw = f.store.getvalue()
+        assert out[0] == raw[:100]
+        assert out[1] == raw[50:150]
+
+    def test_accesses_logged(self):
+        log = AccessLog()
+        reader = TwoPhaseReader(self._file(), IOHints(cb_buffer_size=1024, cb_nodes=1), log)
+        reader.collective_read([[(0, 2048)]])
+        assert log.count == 2
+        assert log.total_bytes == 2048
+
+    def test_independent_read(self):
+        f = self._file()
+        reader = TwoPhaseReader(f, IOHints(ind_rd_buffer_size=512))
+        out, plan = reader.independent_read([(10, 20), (100, 50)])
+        raw = f.store.getvalue()
+        assert out == raw[10:30] + raw[100:150]
+        assert plan.physical_bytes >= 140  # sieved through the hole
+
+
+class TestCollectiveWrite:
+    def _reader(self, initial=b"", buf=512, naggs=2):
+        f = StripedFile(MemoryStore(initial))
+        return TwoPhaseReader(f, IOHints(cb_buffer_size=buf, cb_nodes=naggs))
+
+    def test_disjoint_writes_land(self):
+        reader = self._reader()
+        reader.collective_write([[(0, b"AAAA")], [(10, b"BB")], [(4, b"CC")]])
+        raw = reader.file.store.getvalue()
+        assert raw[0:4] == b"AAAA"
+        assert raw[4:6] == b"CC"
+        assert raw[10:12] == b"BB"
+
+    def test_read_modify_write_preserves_existing(self):
+        """A window spanning a hole between two pieces must pre-read it."""
+        reader = self._reader(initial=b"x" * 64, buf=32, naggs=1)
+        reader.collective_write([[(10, b"NEW")], [(20, b"Q")]])
+        raw = reader.file.store.getvalue()
+        assert raw[:10] == b"x" * 10
+        assert raw[10:13] == b"NEW"
+        assert raw[13:20] == b"x" * 7  # the hole survived
+        assert raw[20:21] == b"Q"
+        assert raw[21:64] == b"x" * 43
+        # The RMW shows up as a logged physical read.
+        assert any(a.kind == "read" for a in reader.log.accesses)
+        assert any(a.kind == "write" for a in reader.log.accesses)
+
+    def test_fully_covered_window_skips_preread(self):
+        reader = self._reader(initial=b"y" * 64, buf=16, naggs=1)
+        reader.collective_write([[(16, bytes(16))]])
+        reads = [a for a in reader.log.accesses if a.kind == "read"]
+        assert reads == []
+
+    def test_overlapping_writes_rejected(self):
+        reader = self._reader()
+        with pytest.raises(StorageError, match="overlapping"):
+            reader.collective_write([[(0, b"AAAA")], [(2, b"BB")]])
+
+    def test_roundtrip_through_collective_read(self):
+        reader = self._reader(buf=128, naggs=3)
+        rng_data = bytes(range(256)) * 4
+        # Four ranks write quarters out of order.
+        writes = [[(256 * ((r * 3) % 4), rng_data[256 * ((r * 3) % 4) : 256 * ((r * 3) % 4) + 256])] for r in range(4)]
+        reader.collective_write(writes)
+        out, _plan = reader.collective_read([[(0, 1024)]])
+        assert out[0] == rng_data
+
+    def test_empty_write(self):
+        reader = self._reader()
+        plan = reader.collective_write([[], [(5, b"")]])
+        assert plan.num_accesses == 0

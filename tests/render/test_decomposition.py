@@ -1,0 +1,100 @@
+"""Block decomposition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.render.decomposition import BlockDecomposition, factor3
+from repro.utils.errors import ConfigError
+
+
+class TestFactor3:
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_product_preserved(self, n):
+        f = factor3(n)
+        assert int(np.prod(f)) == n
+
+    def test_powers_of_two_cubic(self):
+        assert factor3(8) == (2, 2, 2)
+        assert factor3(64) == (4, 4, 4)
+        assert factor3(32768) == (32, 32, 32)
+
+
+class TestDecomposition:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(min_value=4, max_value=20),
+            st.integers(min_value=4, max_value=20),
+            st.integers(min_value=4, max_value=20),
+        ),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_blocks_partition_exactly(self, grid, nblocks):
+        """Every voxel belongs to exactly one block."""
+        try:
+            dec = BlockDecomposition(grid, nblocks)
+        except ConfigError:
+            return  # more blocks than voxels along an axis — fine
+        count = np.zeros(grid, dtype=np.int32)
+        for b in dec.blocks():
+            sl = tuple(slice(s, s + c) for s, c in zip(b.start, b.count))
+            count[sl] += 1
+        assert np.all(count == 1)
+
+    def test_balanced_sizes(self):
+        dec = BlockDecomposition((10, 10, 10), 8)
+        sizes = [b.num_voxels for b in dec.blocks()]
+        assert max(sizes) == 125 and min(sizes) == 125
+
+    def test_uneven_split_differs_by_one_layer(self):
+        dec = BlockDecomposition((10, 4, 4), 3, block_grid=(3, 1, 1))
+        zs = [b.count[0] for b in dec.blocks()]
+        assert sorted(zs) == [3, 3, 4]
+
+    def test_block_grid_must_match(self):
+        with pytest.raises(ConfigError, match="does not produce"):
+            BlockDecomposition((8, 8, 8), 8, block_grid=(2, 2, 3))
+
+    def test_too_many_blocks_rejected(self):
+        with pytest.raises(ConfigError, match="more blocks than voxels"):
+            BlockDecomposition((2, 2, 2), 64)
+
+    def test_round_robin_rank_allocation(self):
+        dec = BlockDecomposition((8, 8, 8), 8)
+        owned = [b.index for r in range(4) for b in dec.blocks_for_rank(r, 4)]
+        assert sorted(owned) == list(range(8))
+        assert [b.index for b in dec.blocks_for_rank(1, 4)] == [1, 5]
+
+
+class TestGhostRead:
+    def test_interior_block_gets_full_ghost(self):
+        dec = BlockDecomposition((12, 12, 12), 27, block_grid=(3, 3, 3))
+        b = dec.block(13)  # center block
+        rs, rc, gl = b.ghost_read((12, 12, 12), ghost=1)
+        assert rs == (3, 3, 3)
+        assert rc == (6, 6, 6)
+        assert gl == (1, 1, 1)
+
+    def test_corner_block_clipped(self):
+        dec = BlockDecomposition((12, 12, 12), 27, block_grid=(3, 3, 3))
+        b = dec.block(0)
+        rs, rc, gl = b.ghost_read((12, 12, 12), ghost=1)
+        assert rs == (0, 0, 0)
+        assert rc == (5, 5, 5)
+        assert gl == (0, 0, 0)
+
+
+class TestVisibilityOrder:
+    def test_front_to_back_from_eye(self):
+        dec = BlockDecomposition((8, 8, 8), 8)
+        eye = np.array([-100.0, 3.5, 3.5])  # looking down +x
+        order = dec.visibility_order(eye)
+        centers = dec.centers()
+        dists = np.linalg.norm(centers[order] - eye, axis=1)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_order_is_permutation(self):
+        dec = BlockDecomposition((8, 8, 8), 12)
+        order = dec.visibility_order(np.array([10.0, 20.0, 30.0]))
+        assert sorted(order) == list(range(12))

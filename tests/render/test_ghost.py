@@ -1,0 +1,111 @@
+"""Message-based ghost exchange vs slicing the global array."""
+
+import numpy as np
+import pytest
+
+from repro.render.decomposition import BlockDecomposition
+from repro.render.ghost import ghost_exchange
+from repro.utils.errors import CommunicationError
+from repro.vmpi import MPIWorld
+
+
+def run_exchange(data, nblocks, block_grid=None, ghost=1):
+    grid = data.shape
+    dec = BlockDecomposition(grid, nblocks, block_grid=block_grid)
+
+    def program(ctx):
+        b = dec.block(ctx.rank)
+        sl = tuple(slice(s, s + c) for s, c in zip(b.start, b.count))
+        local = np.ascontiguousarray(data[sl])
+        padded, ghost_lo = yield from ghost_exchange(ctx, local, dec, ghost)
+        return padded, ghost_lo
+
+    return dec, MPIWorld.for_cores(nblocks).run(program)
+
+
+@pytest.mark.parametrize("nblocks,block_grid", [(8, (2, 2, 2)), (4, (1, 2, 2)), (12, (3, 2, 2)), (6, (6, 1, 1))])
+def test_exchange_matches_global_slices(rng, nblocks, block_grid):
+    """Every rank's padded block equals the global array's ghost window —
+    including edge and corner voxels from diagonal neighbours."""
+    data = rng.random((12, 12, 12)).astype(np.float32)
+    dec, res = run_exchange(data, nblocks, block_grid)
+    for rank, (padded, ghost_lo) in enumerate(res.values):
+        b = dec.block(rank)
+        rs, rc, gl = b.ghost_read((12, 12, 12), ghost=1)
+        assert ghost_lo == gl
+        expected = data[rs[0] : rs[0] + rc[0], rs[1] : rs[1] + rc[1], rs[2] : rs[2] + rc[2]]
+        assert np.array_equal(padded, expected), rank
+
+
+def test_wider_ghost(rng):
+    data = rng.random((16, 16, 16)).astype(np.float32)
+    dec, res = run_exchange(data, 8, (2, 2, 2), ghost=2)
+    for rank, (padded, ghost_lo) in enumerate(res.values):
+        b = dec.block(rank)
+        rs, rc, gl = b.ghost_read((16, 16, 16), ghost=2)
+        assert ghost_lo == gl
+        expected = data[rs[0] : rs[0] + rc[0], rs[1] : rs[1] + rc[1], rs[2] : rs[2] + rc[2]]
+        assert np.array_equal(padded, expected)
+
+
+def test_single_block_no_messages(rng):
+    data = rng.random((8, 8, 8)).astype(np.float32)
+    _dec, res = run_exchange(data, 1, (1, 1, 1))
+    padded, ghost_lo = res[0]
+    assert np.array_equal(padded, data)
+    assert ghost_lo == (0, 0, 0)
+    assert res.messages == 0
+
+
+def test_shape_mismatch_rejected(rng):
+    data = rng.random((8, 8, 8)).astype(np.float32)
+    dec = BlockDecomposition((8, 8, 8), 8)
+
+    def program(ctx):
+        yield from ghost_exchange(ctx, np.zeros((2, 2, 2), np.float32), dec)
+
+    with pytest.raises(CommunicationError, match="does not match"):
+        MPIWorld.for_cores(8).run(program)
+
+
+def test_rank_count_mismatch_rejected(rng):
+    dec = BlockDecomposition((8, 8, 8), 8)
+
+    def program(ctx):
+        yield from ghost_exchange(ctx, np.zeros((4, 4, 4), np.float32), dec)
+
+    with pytest.raises(CommunicationError, match="one block per rank"):
+        MPIWorld.for_cores(4).run(program)
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.sampled_from([(1, 1, 4), (2, 2, 1), (1, 2, 2), (2, 1, 2), (4, 1, 1)]),
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=2),
+)
+def test_ghost_exchange_property(block_grid, seed, ghost):
+    """Random grids, block shapes, and ghost widths all reproduce the
+    global array's ghost windows exactly."""
+    rng = np.random.default_rng(seed)
+    grid = (8, 8, 8)
+    data = rng.random(grid).astype(np.float32)
+    nblocks = block_grid[0] * block_grid[1] * block_grid[2]
+    dec = BlockDecomposition(grid, nblocks, block_grid=block_grid)
+
+    def program(ctx):
+        b = dec.block(ctx.rank)
+        sl = tuple(slice(s, s + c) for s, c in zip(b.start, b.count))
+        padded, gl = yield from ghost_exchange(ctx, np.ascontiguousarray(data[sl]), dec, ghost)
+        return padded, gl
+
+    res = MPIWorld.for_cores(nblocks).run(program)
+    for rank, (padded, gl) in enumerate(res.values):
+        b = dec.block(rank)
+        rs, rc, expected_gl = b.ghost_read(grid, ghost=ghost)
+        assert gl == expected_gl
+        expected = data[rs[0]:rs[0]+rc[0], rs[1]:rs[1]+rc[1], rs[2]:rs[2]+rc[2]]
+        assert np.array_equal(padded, expected)

@@ -1,0 +1,53 @@
+"""Transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.render.transfer import TransferFunction
+from repro.utils.errors import ConfigError
+
+
+class TestTransferFunction:
+    def test_grayscale_endpoints(self):
+        tf = TransferFunction.grayscale_ramp()
+        rgb, ext = tf.sample(np.array([0.0, 1.0]))
+        assert np.allclose(rgb[0], 0.0)
+        assert np.allclose(rgb[1], 1.0, atol=1e-3)
+        assert ext[0] == pytest.approx(0.0, abs=1e-2)
+        assert ext[1] == pytest.approx(tf.max_extinction, rel=1e-2)
+
+    def test_values_clamped_to_domain(self):
+        tf = TransferFunction.grayscale_ramp(vmin=0, vmax=1)
+        rgb_lo, _ = tf.sample(np.array([-5.0]))
+        rgb_hi, _ = tf.sample(np.array([+5.0]))
+        assert np.allclose(rgb_lo, 0.0)
+        assert np.allclose(rgb_hi, 1.0, atol=1e-3)
+
+    def test_extinction_nonnegative(self):
+        tf = TransferFunction.supernova()
+        _rgb, ext = tf.sample(np.linspace(-2, 2, 100))
+        assert np.all(ext >= 0)
+
+    def test_supernova_near_zero_transparent(self):
+        tf = TransferFunction.supernova(vmin=-1, vmax=1)
+        _rgb, ext = tf.sample(np.array([0.0]))
+        assert ext[0] < 0.1 * tf.max_extinction
+
+    def test_monotone_interpolation_between_points(self):
+        pts = np.array([[0.0, 0, 0, 0, 0.0], [1.0, 1, 1, 1, 1.0]])
+        tf = TransferFunction(pts)
+        _rgb, ext = tf.sample(np.linspace(0, 1, 50))
+        assert np.all(np.diff(ext) >= -1e-12)
+
+    def test_invalid_controls_rejected(self):
+        with pytest.raises(ConfigError):
+            TransferFunction(np.zeros((1, 5)))  # too few points
+        with pytest.raises(ConfigError):
+            TransferFunction(np.array([[0.5, 0, 0, 0, 0], [0.5, 1, 1, 1, 1]]))
+        with pytest.raises(ConfigError):
+            TransferFunction.grayscale_ramp(vmin=1.0, vmax=1.0)
+
+    def test_custom_domain(self):
+        tf = TransferFunction.grayscale_ramp(vmin=-10, vmax=10)
+        rgb_mid, _ = tf.sample(np.array([0.0]))
+        assert np.allclose(rgb_mid, 0.5, atol=0.01)

@@ -1,0 +1,206 @@
+"""Engine and process semantics: determinism, time, deadlock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, Delay, Future
+from repro.utils.errors import DeadlockError, SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(2.0, lambda: order.append("b"))
+        eng.schedule(1.0, lambda: order.append("a"))
+        eng.schedule(3.0, lambda: order.append("c"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_in_creation_order(self):
+        eng = Engine()
+        order = []
+        for i in range(5):
+            eng.schedule(1.0, lambda i=i: order.append(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [1.5]
+        assert eng.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: eng.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_cancelled_events_are_skipped(self):
+        eng = Engine()
+        fired = []
+        ev = eng.schedule(1.0, lambda: fired.append("cancelled"))
+        eng.schedule(2.0, lambda: fired.append("kept"))
+        ev.cancel()
+        eng.run()
+        assert fired == ["kept"]
+
+    def test_run_until_stops_at_time(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(10.0, lambda: fired.append(10))
+        eng.run(until=5.0)
+        assert fired == [1]
+        assert eng.now == 5.0
+        eng.run()
+        assert fired == [1, 10]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_events_never_run_out_of_order(self, delays):
+        eng = Engine()
+        times = []
+        for d in delays:
+            eng.schedule(d, lambda: times.append(eng.now))
+        eng.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+
+class TestProcesses:
+    def test_process_result_resolves_done(self):
+        eng = Engine()
+
+        def prog():
+            yield Delay(1.0)
+            return "result"
+
+        p = eng.spawn(prog())
+        eng.run()
+        assert p.finished
+        assert p.done.value == "result"
+
+    def test_yield_plain_number_is_delay(self):
+        eng = Engine()
+
+        def prog():
+            yield 2.5
+            return eng.now
+
+        p = eng.spawn(prog())
+        eng.run()
+        assert p.done.value == 2.5
+
+    def test_yield_future_returns_value(self):
+        eng = Engine()
+        f = Future()
+        eng.schedule(3.0, lambda: f.resolve("hello"))
+
+        def prog():
+            v = yield f
+            return (v, eng.now)
+
+        p = eng.spawn(prog())
+        eng.run()
+        assert p.done.value == ("hello", 3.0)
+
+    def test_yield_resolved_future_resumes_immediately(self):
+        eng = Engine()
+        f = Future()
+        f.resolve(9)
+
+        def prog():
+            v = yield f
+            return v
+
+        p = eng.spawn(prog())
+        eng.run()
+        assert p.done.value == 9
+        assert eng.now == 0.0
+
+    def test_allof_collects_values_in_order(self):
+        eng = Engine()
+        f1, f2 = Future(), Future()
+        eng.schedule(2.0, lambda: f1.resolve("late"))
+        eng.schedule(1.0, lambda: f2.resolve("early"))
+
+        def prog():
+            vals = yield AllOf([f1, f2])
+            return vals
+
+        p = eng.spawn(prog())
+        eng.run()
+        assert p.done.value == ["late", "early"]
+
+    def test_allof_empty_resumes(self):
+        eng = Engine()
+
+        def prog():
+            vals = yield AllOf([])
+            return vals
+
+        p = eng.spawn(prog())
+        eng.run()
+        assert p.done.value == []
+
+    def test_child_process_composition(self):
+        eng = Engine()
+
+        def child():
+            yield Delay(1.0)
+            return 21
+
+        def parent():
+            c = eng.spawn(child(), name="child")
+            v = yield c.done
+            return v * 2
+
+        p = eng.spawn(parent(), name="parent")
+        eng.run()
+        assert p.done.value == 42
+
+    def test_deadlock_detected(self):
+        eng = Engine()
+
+        def prog():
+            yield Future(name="never")
+
+        eng.spawn(prog(), name="stuck")
+        with pytest.raises(DeadlockError, match="stuck"):
+            eng.run()
+
+    def test_unsupported_yield_raises(self):
+        eng = Engine()
+
+        def prog():
+            yield "nonsense"
+
+        eng.spawn(prog())
+        with pytest.raises(SimulationError, match="unsupported"):
+            eng.run()
+
+    def test_many_processes_interleave_deterministically(self):
+        def run_once():
+            eng = Engine()
+            order = []
+
+            def prog(i):
+                yield Delay(0.1 * (i % 3))
+                order.append(i)
+                yield Delay(0.05)
+                order.append(i + 100)
+
+            eng.spawn_all(prog(i) for i in range(10))
+            eng.run()
+            return order
+
+        assert run_once() == run_once()

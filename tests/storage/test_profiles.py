@@ -1,0 +1,44 @@
+"""File-system profiles and their effect on the I/O model."""
+
+import pytest
+
+from repro.machine.partition import Partition
+from repro.model.io import IOTimeModel
+from repro.model.pipeline import DATASETS, FrameModel
+from repro.storage.profiles import LUSTRE_ORNL, PROFILES, PVFS_BGP
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert PROFILES["pvfs"] is PVFS_BGP
+        assert PROFILES["lustre"] is LUSTRE_ORNL
+
+    def test_pvfs_matches_paper_inventory(self):
+        assert PVFS_BGP.stripe.num_servers == 136
+        assert PVFS_BGP.system.num_sans == 17
+
+    def test_lustre_differs(self):
+        assert LUSTRE_ORNL.stripe.stripe_size < PVFS_BGP.stripe.stripe_size
+        assert LUSTRE_ORNL.stripe.num_servers > PVFS_BGP.stripe.num_servers
+
+    def test_str(self):
+        assert "Lustre" in str(LUSTRE_ORNL)
+
+
+class TestProfiledModel:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return FrameModel(DATASETS["1120"]).io_report("raw", 2048)
+
+    def test_profile_changes_price(self, report):
+        part = Partition.for_cores(2048)
+        t_pvfs = IOTimeModel(profile=PVFS_BGP).price(report, part).seconds
+        t_lustre = IOTimeModel(profile=LUSTRE_ORNL).price(report, part).seconds
+        assert t_pvfs != t_lustre
+        assert 0.3 < t_pvfs / t_lustre < 3.0
+
+    def test_default_is_pvfs_equivalent(self, report):
+        part = Partition.for_cores(2048)
+        t_default = IOTimeModel().price(report, part).seconds
+        t_pvfs = IOTimeModel(profile=PVFS_BGP).price(report, part).seconds
+        assert t_default == pytest.approx(t_pvfs)

@@ -1,0 +1,102 @@
+"""Byte store semantics."""
+
+import pytest
+
+from repro.storage.store import FileStore, HeaderOnlyStore, MemoryStore, VirtualStore
+from repro.utils.errors import StorageError
+
+
+class TestMemoryStore:
+    def test_write_read_roundtrip(self):
+        s = MemoryStore()
+        s.write(0, b"hello")
+        assert s.read(0, 5) == b"hello"
+        assert s.size() == 5
+
+    def test_write_past_end_zero_fills(self):
+        s = MemoryStore()
+        s.write(10, b"x")
+        assert s.size() == 11
+        assert s.read(0, 10) == b"\x00" * 10
+
+    def test_overwrite(self):
+        s = MemoryStore(b"abcdef")
+        s.write(2, b"XY")
+        assert s.getvalue() == b"abXYef"
+
+    def test_read_beyond_end_raises(self):
+        s = MemoryStore(b"abc")
+        with pytest.raises(StorageError, match="beyond end"):
+            s.read(1, 5)
+
+    def test_negative_offset_raises(self):
+        s = MemoryStore(b"abc")
+        with pytest.raises(StorageError):
+            s.read(-1, 1)
+        with pytest.raises(StorageError):
+            s.write(-1, b"a")
+
+
+class TestFileStore:
+    def test_roundtrip_on_disk(self, tmp_path):
+        p = tmp_path / "vol.raw"
+        with FileStore(p, "w+b") as s:
+            s.write(0, b"0123456789")
+            assert s.read(3, 4) == b"3456"
+            assert s.size() == 10
+
+    def test_read_only_rejects_writes(self, tmp_path):
+        p = tmp_path / "f.bin"
+        p.write_bytes(b"data")
+        with FileStore(p, "rb") as s:
+            with pytest.raises(StorageError, match="read-only"):
+                s.write(0, b"x")
+
+    def test_short_read_detected(self, tmp_path):
+        p = tmp_path / "f.bin"
+        p.write_bytes(b"abc")
+        with FileStore(p) as s:
+            with pytest.raises(StorageError):
+                s.read(0, 10)
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="mode"):
+            FileStore(tmp_path / "x", "a+b")
+
+
+class TestVirtualStore:
+    def test_size_only(self):
+        s = VirtualStore(1 << 40)
+        assert s.size() == 1 << 40
+
+    def test_reads_rejected(self):
+        with pytest.raises(StorageError, match="planning bugs"):
+            VirtualStore(100).read(0, 1)
+
+    def test_writes_rejected(self):
+        with pytest.raises(StorageError):
+            VirtualStore(100).write(0, b"x")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(StorageError):
+            VirtualStore(-1)
+
+
+class TestHeaderOnlyStore:
+    def test_header_readable(self):
+        s = HeaderOnlyStore(b"HEADER", 1000)
+        assert s.read(0, 6) == b"HEADER"
+        assert s.size() == 1000
+
+    def test_overshoot_from_header_zero_filled(self):
+        s = HeaderOnlyStore(b"AB", 1000)
+        assert s.read(0, 4) == b"AB\x00\x00"
+
+    def test_data_region_read_rejected(self):
+        s = HeaderOnlyStore(b"AB", 1000)
+        with pytest.raises(StorageError, match="virtual data region"):
+            s.read(2, 1)
+
+    def test_too_small_total_rejected(self):
+        with pytest.raises(StorageError):
+            HeaderOnlyStore(b"ABCD", 2)

@@ -1,0 +1,74 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        out = tmp_path / "frame.ppm"
+        rc = main([
+            "render", "--grid", "12", "--cores", "4", "--image", "16",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        data = out.read_bytes()
+        assert data.startswith(b"P6\n16 16\n255\n")
+        text = capsys.readouterr().out
+        assert "frame" in text and "compositors" in text
+
+    @pytest.mark.parametrize("fmt", ("raw", "h5lite"))
+    def test_render_other_formats(self, tmp_path, fmt):
+        out = tmp_path / "f.ppm"
+        rc = main([
+            "render", "--grid", "10", "--cores", "4", "--image", "12",
+            "--format", fmt, "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+
+    def test_model_prints_breakdown(self, capsys):
+        rc = main(["model", "--dataset", "1120", "--cores", "16384"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "I/O" in text and "composite" in text and "total" in text
+        assert "16384 cores" in text
+
+    def test_model_original_compositing_slower(self, capsys):
+        main(["model", "--dataset", "1120", "--cores", "32768"])
+        improved = capsys.readouterr().out
+        main(["model", "--dataset", "1120", "--cores", "32768", "--original-compositing"])
+        original = capsys.readouterr().out
+
+        def total(text):
+            return float([ln for ln in text.splitlines() if "total" in ln][0].split()[1])
+
+        assert total(original) > total(improved)
+
+    def test_scorecard(self, capsys):
+        rc = main(["scorecard"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "anchor" in text and "within 2x" in text
+
+    def test_inventory(self, capsys):
+        rc = main(["inventory"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "163840 cores" in text
+        assert "17 SANs" in text
+        assert "torus" in text
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["transmogrify"])
+
+    def test_error_path_returns_2(self, tmp_path, capsys):
+        # 256 cores cannot decompose a 4-voxel grid: a clean error.
+        rc = main([
+            "render", "--grid", "4", "--cores", "256", "--image", "8",
+            "--out", str(tmp_path / "x.ppm"),
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

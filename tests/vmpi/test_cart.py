@@ -1,0 +1,62 @@
+"""Cartesian grid helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.errors import CommunicationError
+from repro.vmpi.cart import CartGrid
+
+
+class TestCartGrid:
+    def test_roundtrip(self):
+        grid = CartGrid((2, 3, 4))
+        for rank in range(grid.size):
+            assert grid.rank_of(grid.coords_of(rank)) == rank
+
+    @given(
+        st.tuples(
+            st.integers(min_value=1, max_value=5),
+            st.integers(min_value=1, max_value=5),
+            st.integers(min_value=1, max_value=5),
+        )
+    )
+    def test_bijection(self, dims):
+        grid = CartGrid(dims)
+        coords = {grid.coords_of(r) for r in range(grid.size)}
+        assert len(coords) == grid.size
+
+    def test_x_fastest(self):
+        grid = CartGrid((2, 2, 3))
+        assert grid.coords_of(0) == (0, 0, 0)
+        assert grid.coords_of(1) == (0, 0, 1)
+        assert grid.coords_of(3) == (0, 1, 0)
+
+    def test_neighbors(self):
+        grid = CartGrid((2, 2, 2))
+        assert grid.neighbor(0, 2, +1) == 1
+        assert grid.neighbor(0, 1, +1) == 2
+        assert grid.neighbor(0, 0, +1) == 4
+        assert grid.neighbor(0, 2, -1) is None  # boundary, not periodic
+        assert grid.neighbor(7, 0, +1) is None
+
+    def test_neighbor_symmetry(self):
+        grid = CartGrid((3, 3, 3))
+        for rank in range(grid.size):
+            for axis in range(3):
+                nbr = grid.neighbor(rank, axis, +1)
+                if nbr is not None:
+                    assert grid.neighbor(nbr, axis, -1) == rank
+
+    def test_shift(self):
+        grid = CartGrid((1, 1, 4))
+        assert grid.shift(1, 2) == (0, 2)
+        assert grid.shift(0, 2) == (None, 1)
+
+    def test_invalid(self):
+        grid = CartGrid((2, 2, 2))
+        with pytest.raises(CommunicationError):
+            grid.coords_of(8)
+        with pytest.raises(CommunicationError):
+            grid.neighbor(0, 3, +1)
+        with pytest.raises(CommunicationError):
+            grid.neighbor(0, 0, 2)

@@ -1,0 +1,110 @@
+"""MessageBoard matching semantics, property-checked.
+
+MPI ordering guarantee: messages between one (source, dest) pair with
+matching tags are received in send order; wildcards match the earliest
+arrival.  These properties underpin every collective.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.mapping import RankMapping
+from repro.machine.partition import Partition
+from repro.network.desnet import DESNetwork
+from repro.network.topology import TorusTopology
+from repro.sim.engine import Engine
+from repro.utils.errors import CommunicationError
+from repro.vmpi.comm import ANY_SOURCE, ANY_TAG, MessageBoard
+
+
+def make_board(nprocs=8):
+    part = Partition(max(nprocs // 4, 1) * 2, processes_per_node=4)
+    eng = Engine()
+    net = DESNetwork(eng, TorusTopology(part.shape, torus=part.is_torus), RankMapping(part))
+    return eng, MessageBoard(net, part.nprocs)
+
+
+class TestMatchingSemantics:
+    def test_fifo_per_pair_and_tag(self):
+        eng, board = make_board()
+        for i in range(5):
+            board.post_send(0, 1, tag=7, payload=i)
+        got = []
+        for _ in range(5):
+            req = board.post_recv(1, source=0, tag=7)
+            req.future.add_done_callback(lambda v: got.append(v[0]))
+        eng.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_wildcard_tag_takes_earliest_arrival(self):
+        eng, board = make_board()
+        board.post_send(0, 1, tag=5, payload="first")
+        board.post_send(0, 1, tag=9, payload="second")
+        eng.run()  # both delivered
+        req = board.post_recv(1, source=0, tag=ANY_TAG)
+        assert req.complete
+        payload, status = req.future.value
+        assert payload == "first"
+        assert status.tag == 5
+
+    def test_specific_tag_skips_nonmatching(self):
+        eng, board = make_board()
+        board.post_send(0, 1, tag=5, payload="a")
+        board.post_send(0, 1, tag=9, payload="b")
+        eng.run()
+        req = board.post_recv(1, source=0, tag=9)
+        payload, _ = req.future.value
+        assert payload == "b"
+        # The tag-5 message is still waiting.
+        assert board.unreceived_count() == 1
+
+    def test_pending_recv_matches_on_arrival(self):
+        eng, board = make_board()
+        req = board.post_recv(1, source=ANY_SOURCE, tag=3)
+        assert not req.complete
+        board.post_send(2, 1, tag=3, payload="late")
+        eng.run()
+        assert req.complete
+        assert req.future.value[0] == "late"
+        assert req.future.value[1].source == 2
+
+    def test_pending_recvs_match_in_posted_order(self):
+        eng, board = make_board()
+        r1 = board.post_recv(1, source=ANY_SOURCE, tag=ANY_TAG)
+        r2 = board.post_recv(1, source=ANY_SOURCE, tag=ANY_TAG)
+        board.post_send(0, 1, tag=1, payload="x")
+        eng.run()
+        assert r1.complete and not r2.complete
+        board.post_send(0, 1, tag=2, payload="y")
+        eng.run()
+        assert r2.complete
+
+    def test_negative_send_tag_rejected(self):
+        _eng, board = make_board()
+        with pytest.raises(CommunicationError, match="tag"):
+            board.post_send(0, 1, tag=-1, payload=None)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # source
+                st.integers(min_value=0, max_value=4),  # tag
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_every_send_eventually_matches_a_wildcard_recv(self, sends, seed):
+        """N sends + N wildcard receives always pair up completely."""
+        eng, board = make_board()
+        for i, (src, tag) in enumerate(sends):
+            board.post_send(src, 5, tag=tag, payload=i)
+        reqs = [board.post_recv(5, ANY_SOURCE, ANY_TAG) for _ in sends]
+        eng.run()
+        got = sorted(r.future.value[0] for r in reqs)
+        assert got == list(range(len(sends)))
+        assert board.unreceived_count() == 0
+        assert board.pending_recv_count() == 0

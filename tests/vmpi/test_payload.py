@@ -1,0 +1,103 @@
+"""Payload sizing and snapshot semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.errors import CommunicationError
+from repro.vmpi.payload import VirtualPayload, payload_nbytes, snapshot
+
+
+class TestVirtualPayload:
+    def test_size_preserved(self):
+        assert payload_nbytes(VirtualPayload(12345)) == 12345
+
+    def test_negative_rejected(self):
+        with pytest.raises(CommunicationError):
+            VirtualPayload(-1)
+
+    def test_equality_by_size(self):
+        assert VirtualPayload(10) == VirtualPayload(10)
+        assert VirtualPayload(10) != VirtualPayload(11)
+
+
+class TestPayloadNbytes:
+    def test_numpy_exact(self):
+        a = np.zeros((10, 10), dtype=np.float32)
+        assert payload_nbytes(a) == 400
+
+    def test_bytes_exact(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_scalars_have_envelope(self):
+        assert payload_nbytes(3) == 16
+        assert payload_nbytes(None) == 16
+
+    def test_containers_sum(self):
+        a = np.zeros(10, dtype=np.float64)
+        assert payload_nbytes([a, a]) == 16 + 2 * 80
+        assert payload_nbytes({"k": a}) == 16 + (1 + 16) + 80
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_string_size_grows(self, n):
+        assert payload_nbytes("x" * n) == n + 16
+
+    def test_object_with_nbytes_attr(self):
+        class Img:
+            nbytes = 4096
+
+        assert payload_nbytes(Img()) == 4096
+
+
+class TestSnapshot:
+    def test_ndarray_copied(self):
+        a = np.arange(5)
+        s = snapshot(a)
+        a[0] = 99
+        assert s[0] == 0
+
+    def test_nested_containers_copied(self):
+        a = np.arange(3)
+        s = snapshot({"x": [a, (a,)]})
+        a[:] = -1
+        assert s["x"][0][0] == 0
+        assert s["x"][1][0][0] == 0
+
+    def test_scalars_pass_through(self):
+        assert snapshot(5) == 5
+        assert snapshot("s") == "s"
+
+    def test_virtual_payload_passes_through(self):
+        v = VirtualPayload(7)
+        assert snapshot(v) is v
+
+
+class TestOps:
+    def test_named_ops(self):
+        from repro.vmpi.ops import resolve_op
+
+        assert resolve_op("sum")(2, 3) == 5
+        assert resolve_op("prod")(2, 3) == 6
+        assert resolve_op("max")(2, 3) == 3
+        assert resolve_op("min")(2, 3) == 2
+
+    def test_named_ops_elementwise_on_arrays(self):
+        from repro.vmpi.ops import resolve_op
+
+        a = np.array([1.0, 5.0])
+        b = np.array([4.0, 2.0])
+        assert np.array_equal(resolve_op("max")(a, b), [4.0, 5.0])
+        assert np.array_equal(resolve_op("prod")(a, b), [4.0, 10.0])
+
+    def test_callable_passthrough(self):
+        from repro.vmpi.ops import resolve_op
+
+        fn = lambda a, b: a - b  # noqa: E731
+        assert resolve_op(fn) is fn
+
+    def test_unknown_op_rejected(self):
+        from repro.utils.errors import CommunicationError
+        from repro.vmpi.ops import resolve_op
+
+        with pytest.raises(CommunicationError, match="unknown reduce op"):
+            resolve_op("median")

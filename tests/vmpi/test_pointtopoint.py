@@ -1,0 +1,164 @@
+"""Point-to-point semantics of the simulated MPI."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import CommunicationError
+from repro.vmpi import ANY_SOURCE, ANY_TAG, MPIWorld
+
+
+def run(nprocs, program, **kwargs):
+    return MPIWorld.for_cores(nprocs, **kwargs).run(program)
+
+
+class TestSendRecv:
+    def test_basic_send_recv(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send({"a": 1}, dest=1, tag=5)
+                return None
+            if ctx.rank == 1:
+                data = yield from ctx.recv(source=0, tag=5)
+                return data
+            return None
+
+        res = run(4, program)
+        assert res[1] == {"a": 1}
+
+    def test_numpy_payload_copied_on_send(self):
+        """Mutating the send buffer after isend must not corrupt delivery."""
+
+        def program(ctx):
+            if ctx.rank == 0:
+                buf = np.arange(4)
+                req = ctx.isend(buf, dest=1, tag=1)
+                buf[:] = -1  # sender reuses the buffer immediately
+                yield from ctx.wait(req)
+                return None
+            if ctx.rank == 1:
+                return (yield from ctx.recv(source=0, tag=1))
+            return None
+
+        res = run(4, program)
+        assert np.array_equal(res[1], [0, 1, 2, 3])
+
+    def test_tag_matching(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send("first", dest=1, tag=10)
+                yield from ctx.send("second", dest=1, tag=20)
+                return None
+            if ctx.rank == 1:
+                b = yield from ctx.recv(source=0, tag=20)
+                a = yield from ctx.recv(source=0, tag=10)
+                return (a, b)
+            return None
+
+        res = run(4, program)
+        assert res[1] == ("first", "second")
+
+    def test_any_source_any_tag(self):
+        def program(ctx):
+            if ctx.rank != 0:
+                yield from ctx.send(ctx.rank, dest=0, tag=ctx.rank)
+                return None
+            got = set()
+            for _ in range(ctx.size - 1):
+                payload, status = yield from ctx.recv_status(source=ANY_SOURCE, tag=ANY_TAG)
+                assert payload == status.source == status.tag
+                got.add(payload)
+            return got
+
+        res = run(4, program)
+        assert res[0] == {1, 2, 3}
+
+    def test_message_order_preserved_same_pair(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                for i in range(10):
+                    yield from ctx.send(i, dest=1, tag=3)
+                return None
+            if ctx.rank == 1:
+                out = []
+                for _ in range(10):
+                    out.append((yield from ctx.recv(source=0, tag=3)))
+                return out
+            return None
+
+        res = run(2, program)
+        assert res[1] == list(range(10))
+
+    def test_sendrecv_swaps(self):
+        def program(ctx):
+            partner = ctx.rank ^ 1
+            other = yield from ctx.sendrecv(ctx.rank * 10, dest=partner, source=partner, tag=2)
+            return other
+
+        res = run(4, program)
+        assert res.values == [10, 0, 30, 20]
+
+    def test_irecv_posted_before_send(self):
+        def program(ctx):
+            if ctx.rank == 1:
+                req = ctx.irecv(source=0, tag=9)
+                yield from ctx.barrier()
+                payload, _status = yield req.future
+                return payload
+            yield from ctx.barrier()
+            if ctx.rank == 0:
+                yield from ctx.send("late", dest=1, tag=9)
+            return None
+
+        res = run(2, program)
+        assert res[1] == "late"
+
+    def test_bad_destination_raises(self):
+        def program(ctx):
+            yield from ctx.send(1, dest=99)
+
+        with pytest.raises(CommunicationError, match="out of range"):
+            run(2, program)
+
+    def test_unreceived_message_detected(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send("orphan", dest=1, tag=1)
+            return None
+
+        with pytest.raises(CommunicationError, match="never received"):
+            run(2, program)
+
+    def test_waitall_returns_payloads(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                reqs = [ctx.irecv(source=s, tag=1) for s in range(1, ctx.size)]
+                vals = yield from ctx.waitall(reqs)
+                return vals
+            yield from ctx.send(ctx.rank**2, dest=0, tag=1)
+            return None
+
+        res = run(4, program)
+        assert res[0] == [1, 4, 9]
+
+
+class TestTiming:
+    def test_simulated_time_advances_with_traffic(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(np.zeros(1 << 18), dest=1)
+            elif ctx.rank == 1:
+                yield from ctx.recv(source=0)
+            return ctx.now
+
+        res = run(2, program)
+        assert res.elapsed_s > 0
+
+    def test_compute_advances_local_clock(self):
+        def program(ctx):
+            yield from ctx.compute(0.25 * (ctx.rank + 1))
+            return ctx.now
+
+        res = run(2, program)
+        assert res[0] == pytest.approx(0.25)
+        assert res[1] == pytest.approx(0.5)
+        assert res.compute_seconds == [0.25, 0.5]

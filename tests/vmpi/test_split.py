@@ -1,0 +1,125 @@
+"""Sub-communicators (MPI_Comm_split semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import CommunicationError
+from repro.vmpi import MPIWorld
+
+
+def run(p, program):
+    return MPIWorld.for_cores(p).run(program)
+
+
+class TestSplit:
+    def test_groups_by_color(self):
+        def program(ctx):
+            group = yield from ctx.split(ctx.rank % 2)
+            return group.rank, group.size
+
+        res = run(8, program)
+        for parent_rank, (grank, gsize) in enumerate(res.values):
+            assert gsize == 4
+            assert grank == parent_rank // 2
+
+    def test_key_reorders_group(self):
+        def program(ctx):
+            # Reverse ordering within one group of everyone.
+            group = yield from ctx.split("all", key=-ctx.rank)
+            return group.rank
+
+        res = run(4, program)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_group_collectives_are_isolated(self):
+        def program(ctx):
+            group = yield from ctx.split(ctx.rank % 2)
+            total = yield from group.allreduce(ctx.rank, op="sum")
+            gathered = yield from group.gather(ctx.rank, root=0)
+            return total, gathered
+
+        res = run(8, program)
+        evens = sum(r for r in range(8) if r % 2 == 0)
+        odds = sum(r for r in range(8) if r % 2 == 1)
+        for r, (total, gathered) in enumerate(res.values):
+            assert total == (evens if r % 2 == 0 else odds)
+            if gathered is not None:
+                assert gathered == ([0, 2, 4, 6] if r % 2 == 0 else [1, 3, 5, 7])
+
+    def test_group_p2p_translates_ranks(self):
+        def program(ctx):
+            group = yield from ctx.split(ctx.rank < 2)
+            # Within each pair, group rank 0 <-> 1.
+            peer = group.rank ^ 1
+            got = yield from group.sendrecv(ctx.rank, dest=peer, source=peer, tag=4)
+            return got
+
+        res = run(4, program)
+        assert res.values == [1, 0, 3, 2]
+
+    def test_recv_status_source_is_group_rank(self):
+        def program(ctx):
+            group = yield from ctx.split(0)  # everyone together
+            if group.rank == 2:
+                yield from group.send("hi", dest=0, tag=1)
+            if group.rank == 0:
+                _payload, status = yield from group.recv_status(tag=1)
+                return status.source
+            return None
+
+        res = run(4, program)
+        assert res[0] == 2
+
+    def test_concurrent_groups_same_tags_no_crosstalk(self):
+        def program(ctx):
+            group = yield from ctx.split(ctx.rank % 2)
+            # Both groups use identical tags simultaneously.
+            peer = (group.rank + 1) % group.size
+            src = (group.rank - 1) % group.size
+            got = yield from group.sendrecv(("c", ctx.rank % 2), dest=peer, source=src, tag=9)
+            return got
+
+        res = run(8, program)
+        for r, (tag, color) in enumerate(res.values):
+            assert tag == "c" and color == r % 2
+
+    def test_nested_split(self):
+        def program(ctx):
+            half = yield from ctx.split(ctx.rank // 4)  # two halves of 4
+            quarter = yield from half.split(half.rank // 2)  # pairs
+            s = yield from quarter.allreduce(ctx.rank, op="sum")
+            return quarter.size, s
+
+        res = run(8, program)
+        for r, (qsize, s) in enumerate(res.values):
+            assert qsize == 2
+            partner = r ^ 1
+            assert s == r + partner
+
+    def test_parent_still_usable_after_split(self):
+        def program(ctx):
+            group = yield from ctx.split(ctx.rank % 2)
+            sub_total = yield from group.allreduce(1, op="sum")
+            full_total = yield from ctx.allreduce(sub_total, op="sum")
+            return full_total
+
+        res = run(8, program)
+        assert all(v == 8 * 4 for v in res.values)
+
+    def test_numpy_payloads_through_group(self):
+        def program(ctx):
+            group = yield from ctx.split(ctx.rank % 2)
+            out = yield from group.allreduce(np.full(8, float(group.rank)), op="max")
+            return out
+
+        res = run(8, program)
+        for v in res.values:
+            assert np.array_equal(v, np.full(8, 3.0))
+
+    def test_bad_group_rank_rejected(self):
+        def program(ctx):
+            group = yield from ctx.split(ctx.rank % 2)
+            yield from group.send(1, dest=group.size)  # out of range
+
+        with pytest.raises(CommunicationError, match="out of range"):
+            run(4, program)
