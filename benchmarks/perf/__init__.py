@@ -1,0 +1,11 @@
+"""Microbenchmarks of the hot paths, with committed baselines.
+
+Unlike ``benchmarks/test_fig*`` (which reproduce the paper's figures),
+this package measures *this repo's own* kernels — render, composite,
+two-phase read planning, DES event throughput, frame-plan caching —
+and persists the timings to ``BENCH_render.json`` / ``BENCH_pipeline.json``
+at the repo root so every subsequent PR has a perf trajectory to beat.
+
+Run ``python -m repro bench`` for the regression guard, or
+``python benchmarks/perf/run_perf.py`` to (re)generate the baselines.
+"""

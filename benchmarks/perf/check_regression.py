@@ -1,0 +1,96 @@
+"""Perf regression guard: fresh run vs the committed baselines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py
+        [--tolerance 0.25] [--update]
+
+Re-runs every ``guard: true`` benchmark and fails (exit 1) if any
+kernel is more than ``tolerance`` (default 25%) slower than its
+committed ``BENCH_*.json`` entry.  ``--update`` instead regenerates
+the baselines in full (including the slow reference kernel).
+
+Also exposed as ``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE_FILES = ("BENCH_render.json", "BENCH_pipeline.json")
+
+
+def load_baselines(root: pathlib.Path) -> dict[str, dict]:
+    """{benchmark name: committed entry}; raises if a file is missing."""
+    entries: dict[str, dict] = {}
+    for filename in BASELINE_FILES:
+        path = root / filename
+        if not path.exists():
+            raise FileNotFoundError(
+                f"{path} missing — run `python benchmarks/perf/run_perf.py` "
+                f"(or `python -m repro bench --update`) to create the baselines"
+            )
+        doc = json.loads(path.read_text())
+        for entry in doc["benchmarks"]:
+            entries[entry["name"]] = entry
+    return entries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the committed baselines instead of checking",
+    )
+    parser.add_argument("--root", default=str(REPO_ROOT), help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root)
+
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.perf.run_perf import collect
+    from benchmarks.perf.run_perf import main as regen
+
+    if args.update:
+        return regen(["--out", str(root)])
+
+    try:
+        baselines = load_baselines(root)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    guarded = [n for n, e in baselines.items() if e.get("guard")]
+    print(f"perf regression guard: {len(guarded)} kernels, "
+          f"tolerance {args.tolerance:.0%}")
+    fresh_by_file = collect(names=set(guarded))
+    fresh = {e["name"]: e for entries in fresh_by_file.values() for e in entries}
+
+    failures = []
+    print(f"\n{'kernel':<28} {'baseline':>10} {'fresh':>10} {'ratio':>7}")
+    for name in guarded:
+        base_s = baselines[name]["seconds"]
+        fresh_s = fresh[name]["seconds"]
+        ratio = fresh_s / base_s if base_s else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            failures.append((name, ratio))
+            flag = "  REGRESSION"
+        print(f"{name:<28} {base_s:>9.4f}s {fresh_s:>9.4f}s {ratio:>6.2f}x{flag}")
+
+    if failures:
+        worst = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
+        print(f"\nFAIL: kernel(s) slower than baseline + {args.tolerance:.0%}: {worst}")
+        return 1
+    print("\nOK: no kernel regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Generate the committed perf baselines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--out DIR]
+
+Runs every benchmark (including the slow pre-PR reference kernel),
+computes the render-kernel speedup and the equivalence check, and
+writes ``BENCH_render.json`` and ``BENCH_pipeline.json`` to the repo
+root (or ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+
+def collect(names=None, repeats_override=None) -> dict[str, list[dict]]:
+    """Run benchmarks; returns {baseline filename: [entries]}."""
+    from benchmarks.perf.suite import BENCHMARKS
+
+    by_file: dict[str, list[dict]] = {}
+    for name, (fn, filename) in BENCHMARKS.items():
+        if names is not None and name not in names:
+            continue
+        print(f"  running {name} ...", flush=True)
+        entry = fn(repeats_override) if repeats_override else fn()
+        print(f"    {entry['seconds']:.4f} s")
+        by_file.setdefault(filename, []).append(entry)
+    return by_file
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(REPO_ROOT), help="output directory")
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.out)
+
+    print("perf baseline run (includes the slow reference kernel)")
+    by_file = collect()
+
+    from benchmarks.perf.suite import render_equivalence_maxdiff
+
+    render = by_file["BENCH_render.json"]
+    by_name = {e["name"]: e for e in render}
+    speedup = (
+        by_name["render_kernel_reference"]["seconds"]
+        / by_name["render_kernel_compacted"]["seconds"]
+    )
+    maxdiff = render_equivalence_maxdiff()
+    header = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "render_kernel_speedup": speedup,
+        "serial_equivalence_maxdiff": maxdiff,
+    }
+    print(f"render kernel speedup: {speedup:.2f}x, equivalence maxdiff {maxdiff:.2e}")
+
+    for filename, entries in by_file.items():
+        doc = {"meta": header if filename == "BENCH_render.json" else {
+            "python": platform.python_version(), "machine": platform.machine()},
+            "benchmarks": entries}
+        path = out / filename
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""The microbenchmark definitions.
+
+Every benchmark is a function ``bench_*(repeats) -> dict`` returning::
+
+    {"name": ..., "config": {...}, "seconds": median-of-repeats,
+     "guard": bool, ...extra metrics...}
+
+``guard: True`` entries are re-run and compared by the regression
+check; ``guard: False`` entries (the pre-PR reference kernel) are
+recorded once as the speedup baseline but too slow to re-time on every
+guard run.
+
+Workloads are deterministic (fixed seeds, synthetic fields) so the
+committed numbers are reproducible on the machine that wrote them.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+
+import numpy as np
+
+RENDER_GRID = 256  # acceptance config: 256^3 volume ...
+RENDER_IMAGE = 512  # ... rendered to a 512^2 image
+RENDER_STEP = 1.0
+
+
+def _timeit(fn, repeats: int) -> tuple[float, object]:
+    """Median wall-clock seconds of ``repeats`` calls + last result.
+
+    One untimed warmup call first: the initial call pays page faults
+    on freshly built inputs and allocator growth, which would skew a
+    median of few repeats.
+    """
+    fn()
+    times = []
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return float(median(times)), result
+
+
+def synthetic_volume(n: int, seed: int = 1530) -> np.ndarray:
+    """A smooth deterministic scalar field in [-1, 1], (n, n, n) float32.
+
+    Smooth low-frequency structure keeps rays marching (semi-
+    transparent regions) instead of terminating at the first sample,
+    so the benchmark exercises the marching loop, not just early
+    termination.
+    """
+    rng = np.random.default_rng(seed)
+    ax = np.linspace(0.0, 2.0 * np.pi, n, dtype=np.float32)
+    z = ax[:, None, None]
+    y = ax[None, :, None]
+    x = ax[None, None, :]
+    phases = rng.uniform(0, 2 * np.pi, size=6).astype(np.float32)
+    field = (
+        np.sin(2 * x + phases[0]) * np.sin(3 * y + phases[1])
+        + np.sin(2 * y + phases[2]) * np.sin(3 * z + phases[3])
+        + np.sin(2 * z + phases[4]) * np.sin(3 * x + phases[5])
+    ) / 3.0
+    return field.astype(np.float32)
+
+
+def _render_setup(n: int = RENDER_GRID, image: int = RENDER_IMAGE):
+    from repro.render.camera import Camera
+    from repro.render.transfer import TransferFunction
+    from repro.render.volume import VolumeBlock
+
+    data = synthetic_volume(n)
+    camera = Camera.looking_at_volume(data.shape, width=image, height=image)
+    tf = TransferFunction.supernova(-1.0, 1.0)
+    return VolumeBlock.whole(data), camera, tf
+
+
+def bench_render_kernel(repeats: int = 3) -> dict:
+    """The compacted ray-marching kernel (the PR's tentpole)."""
+    from repro.render.raycast import render_block
+
+    block, camera, tf = _render_setup()
+    seconds, partial = _timeit(
+        lambda: render_block(camera, block, tf, step=RENDER_STEP), repeats
+    )
+    return {
+        "name": "render_kernel_compacted",
+        "guard": True,
+        "config": {"grid": RENDER_GRID, "image": RENDER_IMAGE, "step": RENDER_STEP},
+        "seconds": seconds,
+        "samples": int(partial.samples),
+        "samples_per_second": partial.samples / seconds,
+    }
+
+
+def bench_render_kernel_reference(repeats: int = 1) -> dict:
+    """The pre-PR per-sample-index kernel (speedup baseline)."""
+    from repro.render.raycast import render_block_reference
+
+    block, camera, tf = _render_setup()
+    seconds, partial = _timeit(
+        lambda: render_block_reference(camera, block, tf, step=RENDER_STEP), repeats
+    )
+    return {
+        "name": "render_kernel_reference",
+        "guard": False,
+        "config": {"grid": RENDER_GRID, "image": RENDER_IMAGE, "step": RENDER_STEP},
+        "seconds": seconds,
+        "samples": int(partial.samples),
+        "samples_per_second": partial.samples / seconds,
+    }
+
+
+def render_equivalence_maxdiff() -> float:
+    """Max |compacted - serial reference| over the benchmark frame.
+
+    The serial path composites the same kernel's whole-volume partial
+    onto the canvas; agreement is required to the suite's existing
+    tolerance (5e-3, the early-termination error budget).
+    """
+    from repro.render.image import blank_image, composite_over
+    from repro.render.raycast import render_block, render_volume_serial
+
+    block, camera, tf = _render_setup(n=96, image=256)
+    partial = render_block(camera, block, tf, step=RENDER_STEP)
+    img = composite_over(blank_image(camera.width, camera.height), [partial])
+    ref = render_volume_serial(camera, block.data, tf, step=RENDER_STEP)
+    return float(np.abs(img - ref).max())
+
+
+def bench_composite(repeats: int = 5) -> dict:
+    """Span-based compositing of a deep fragment list on a 512^2 canvas."""
+    from repro.render.image import PartialImage, blank_image, composite_over
+
+    rng = np.random.default_rng(7)
+    size = 512
+    partials = []
+    for i in range(48):
+        w = int(rng.integers(96, 256))
+        h = int(rng.integers(96, 256))
+        x0 = int(rng.integers(0, size - w))
+        y0 = int(rng.integers(0, size - h))
+        rgba = rng.random((h, w, 4), dtype=np.float32)
+        rgba[..., :3] *= rgba[..., 3:4]  # premultiplied
+        partials.append(PartialImage((x0, y0, w, h), rgba, depth=float(rng.random())))
+    canvas = blank_image(size, size)
+    seconds, _ = _timeit(lambda: composite_over(canvas, partials), repeats)
+    return {
+        "name": "composite_over",
+        "guard": True,
+        "config": {"canvas": size, "fragments": len(partials)},
+        "seconds": seconds,
+        "fragments_per_second": len(partials) / seconds,
+    }
+
+
+def bench_two_phase_plan(repeats: int = 5) -> dict:
+    """Two-phase collective read planning for a 128^3 netCDF variable."""
+    from repro.pio.hints import IOHints
+    from repro.pio.twophase import merge_intervals, plan_two_phase
+    from repro.render.decomposition import BlockDecomposition
+
+    n = 128
+    nprocs = 256
+    itemsize = 4
+    grid = (n, n, n)
+    dec = BlockDecomposition(grid, nprocs)
+    # Per-rank subarray byte ranges of a row-major (z, y, x) variable.
+    intervals = []
+    for b in dec.blocks():
+        (z0, y0, x0), (cz, cy, cx) = b.start, b.count
+        for z in range(z0, z0 + cz):
+            for y in range(y0, y0 + cy):
+                off = ((z * n + y) * n + x0) * itemsize
+                intervals.append((off, cx * itemsize))
+    hints = IOHints(cb_buffer_size=1 << 20, cb_nodes=32)
+    file_size = n * n * n * itemsize
+
+    def plan():
+        return plan_two_phase(merge_intervals(intervals), hints, file_size)
+
+    seconds, plan_result = _timeit(plan, repeats)
+    return {
+        "name": "two_phase_plan",
+        "guard": True,
+        "config": {"grid": n, "nprocs": nprocs, "cb_nodes": 32},
+        "seconds": seconds,
+        "physical_accesses": int(plan_result.num_accesses),
+    }
+
+
+def bench_engine_events(repeats: int = 3) -> dict:
+    """DES engine throughput: schedule/run 200k events, 25% cancelled."""
+    from repro.sim.engine import Engine
+
+    n_events = 200_000
+
+    def run():
+        eng = Engine()
+        executed = [0]
+
+        def tick():
+            executed[0] += 1
+
+        events = [
+            eng.schedule(float(i % 977) * 1e-6, tick) for i in range(n_events)
+        ]
+        for ev in events[::4]:
+            ev.cancel()
+        eng.run()
+        return executed[0]
+
+    seconds, executed = _timeit(run, repeats)
+    return {
+        "name": "engine_events",
+        "guard": True,
+        "config": {"events": n_events, "cancel_fraction": 0.25},
+        "seconds": seconds,
+        "events_per_second": n_events / seconds,
+        "executed": int(executed),
+    }
+
+
+def bench_frame_plan_cache(repeats: int = 3) -> dict:
+    """End-to-end frames against one renderer: cold plan vs cached plan."""
+    from repro.core.pipeline import ParallelVolumeRenderer
+    from repro.data import SupernovaModel, write_vh1_netcdf
+    from repro.pio import NetCDFHandle
+    from repro.render.camera import Camera
+    from repro.render.transfer import TransferFunction
+    from repro.vmpi.runner import MPIWorld
+
+    grid = (48, 48, 48)
+    model = SupernovaModel(grid, seed=11, time=0.6)
+    handle = NetCDFHandle(write_vh1_netcdf(model), "vx")
+    camera = Camera.looking_at_volume(grid, width=128, height=128)
+    tf = TransferFunction.supernova(*model.value_range("vx"))
+
+    def cold():
+        renderer = ParallelVolumeRenderer(MPIWorld.for_cores(16), camera, tf, step=0.8)
+        renderer.render_frame(handle)
+        return renderer
+
+    cold_seconds, renderer = _timeit(cold, repeats)
+    warm_seconds, _ = _timeit(lambda: renderer.render_frame(handle), repeats)
+    return {
+        "name": "frame_plan_cache",
+        "guard": True,
+        "config": {"grid": grid[0], "cores": 16, "image": 128},
+        "seconds": warm_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_over_cold_speedup": cold_seconds / warm_seconds,
+    }
+
+
+#: name -> (function, which baseline file it belongs to)
+BENCHMARKS = {
+    "render_kernel_compacted": (bench_render_kernel, "BENCH_render.json"),
+    "render_kernel_reference": (bench_render_kernel_reference, "BENCH_render.json"),
+    "composite_over": (bench_composite, "BENCH_render.json"),
+    "two_phase_plan": (bench_two_phase_plan, "BENCH_pipeline.json"),
+    "engine_events": (bench_engine_events, "BENCH_pipeline.json"),
+    "frame_plan_cache": (bench_frame_plan_cache, "BENCH_pipeline.json"),
+}

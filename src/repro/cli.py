@@ -8,6 +8,9 @@ Four commands cover the tour a new user takes:
   mode) and print the Fig. 3/Table II style breakdown.
 * ``scorecard`` — the calibration-vs-paper fidelity table.
 * ``inventory`` — the modeled machine and storage system.
+* ``bench``     — run the perf microbenchmarks against the committed
+  ``BENCH_*.json`` baselines and fail on regression (``--update``
+  regenerates the baselines).
 """
 
 from __future__ import annotations
@@ -59,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scorecard", help="fidelity of the model vs the paper's numbers")
     sub.add_parser("inventory", help="describe the modeled machine and storage")
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf microbenchmarks / regression guard"
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--update", action="store_true",
+        help="regenerate the committed BENCH_*.json baselines",
+    )
     return parser
 
 
@@ -156,6 +171,31 @@ def cmd_inventory(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import importlib.util
+    import pathlib
+
+    # The guard lives in benchmarks/perf/ (it is repo tooling, not part
+    # of the installable package); locate it relative to the source
+    # tree and fall back to a clear error when run from an install.
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    guard = repo_root / "benchmarks" / "perf" / "check_regression.py"
+    if not guard.exists():
+        print(
+            "error: benchmarks/perf/check_regression.py not found — "
+            "`repro bench` must run from a source checkout",
+            file=sys.stderr,
+        )
+        return 2
+    spec = importlib.util.spec_from_file_location("repro_perf_guard", guard)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    argv = ["--tolerance", str(args.tolerance)]
+    if args.update:
+        argv.append("--update")
+    return module.main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -163,6 +203,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "model": cmd_model,
         "scorecard": cmd_scorecard,
         "inventory": cmd_inventory,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -22,6 +22,8 @@ from repro.compositing.schedule import (
     CompositeMessage,
     CompositeSchedule,
     build_schedule,
+    clear_schedule_cache,
+    schedule_cache_info,
     schedule_from_geometry,
 )
 from repro.compositing.policy import CompositorPolicy, PAPER_POLICY, IDENTITY_POLICY
@@ -35,6 +37,8 @@ __all__ = [
     "CompositeMessage",
     "CompositeSchedule",
     "build_schedule",
+    "clear_schedule_cache",
+    "schedule_cache_info",
     "schedule_from_geometry",
     "CompositorPolicy",
     "PAPER_POLICY",

@@ -106,18 +106,47 @@ def build_schedule(
     return CompositeSchedule(len(footprints), num_compositors, tiles, msgs)
 
 
+# Camera + decomposition keyed memoization of the geometric schedule.
+# Time-series / orbit campaigns re-derive the identical schedule every
+# frame otherwise (every rank of every frame, in the real system); the
+# schedule is immutable once built, so sharing one instance is safe.
+_SCHEDULE_CACHE: dict[tuple, CompositeSchedule] = {}
+_SCHEDULE_CACHE_MAX = 64
+_schedule_cache_stats = {"hits": 0, "misses": 0}
+
+
+def schedule_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the geometry-schedule memo."""
+    return {**_schedule_cache_stats, "size": len(_SCHEDULE_CACHE)}
+
+
+def clear_schedule_cache() -> None:
+    _SCHEDULE_CACHE.clear()
+    _schedule_cache_stats["hits"] = 0
+    _schedule_cache_stats["misses"] = 0
+
+
 def schedule_from_geometry(
     decomposition: BlockDecomposition,
     camera: Camera,
     num_compositors: int,
     strips: bool = False,
+    cache: bool = True,
 ) -> CompositeSchedule:
     """Schedule straight from block geometry (what every rank computes).
 
     Block i is rendered by rank i (one block per process, the paper's
     configuration); its footprint is the projected bounding box of its
-    world AABB.
+    world AABB.  Results are memoized on (decomposition, camera, m,
+    strips) — pass ``cache=False`` to force a cold build.
     """
+    key = (decomposition.plan_key(), camera.plan_key(), int(num_compositors), strips)
+    if cache:
+        hit = _SCHEDULE_CACHE.get(key)
+        if hit is not None:
+            _schedule_cache_stats["hits"] += 1
+            return hit
+        _schedule_cache_stats["misses"] += 1
     tiles = TileDecomposition(camera.width, camera.height, num_compositors, strips=strips)
     footprints: list[Rect | None] = []
     for b in decomposition.blocks():
@@ -133,4 +162,9 @@ def schedule_from_geometry(
             dtype=np.float64,
         )
         footprints.append(camera.footprint(lo, hi))
-    return build_schedule(footprints, tiles, num_compositors)
+    schedule = build_schedule(footprints, tiles, num_compositors)
+    if cache:
+        while len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            _SCHEDULE_CACHE.pop(next(iter(_SCHEDULE_CACHE)))
+        _SCHEDULE_CACHE[key] = schedule
+    return schedule

@@ -10,12 +10,16 @@ final image is completed", split into I/O, rendering, and compositing).
 
 from repro.core.timing import FrameTiming
 from repro.core.pipeline import ParallelVolumeRenderer, FrameResult
+from repro.core.plan import FramePlan, FramePlanCache, block_world_bounds
 from repro.core.timeseries import TimeSeriesResult, render_time_series
 
 __all__ = [
     "FrameTiming",
     "ParallelVolumeRenderer",
     "FrameResult",
+    "FramePlan",
+    "FramePlanCache",
+    "block_world_bounds",
     "TimeSeriesResult",
     "render_time_series",
 ]

@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.compositing.directsend import assemble_final_image, direct_send_compose
 from repro.compositing.policy import PAPER_POLICY, CompositorPolicy
-from repro.compositing.schedule import CompositeSchedule, schedule_from_geometry
+from repro.compositing.schedule import CompositeSchedule
+from repro.core.plan import FramePlanCache
 from repro.core.timing import FrameTiming
 from repro.model.constants import DEFAULT_CONSTANTS, ModelConstants
 from repro.model.io import IOTimeModel
@@ -84,6 +85,10 @@ class ParallelVolumeRenderer:
         self.ghost_mode = ghost_mode
         self.constants = constants
         self.io_model = IOTimeModel(constants, stripe)
+        # Camera+decomposition keyed memo of the frame's geometry
+        # (footprints, ray/box intersections, tile ownership, message
+        # schedule) — time-series rendering reuses it across frames.
+        self.plan_cache = FramePlanCache()
 
     def render_frame(self, handle: DatasetHandle, log: AccessLog | None = None) -> FrameResult:
         """Render one time step end to end; returns image + timing."""
@@ -91,27 +96,27 @@ class ParallelVolumeRenderer:
         grid = tuple(int(s) for s in handle.shape)
         if len(grid) != 3:
             raise ConfigError(f"expected a 3D variable, got shape {handle.shape}")
-        decomposition = BlockDecomposition(grid, nprocs)  # type: ignore[arg-type]
+
+        # --- Frame plan: decomposition, ghost-read extents, per-rank
+        # ray geometry, and the compositing schedule — all independent
+        # of the data, so a repeated (camera, grid, config) hits the
+        # cache and skips the geometry work entirely.
+        m = self.policy.compositors_for(nprocs)
+        plan = self.plan_cache.plan_for(
+            self.camera, grid, nprocs, self.step, self.ghost, self.ghost_mode, m
+        )
+        decomposition = plan.decomposition
+        ghost_specs = plan.ghost_specs
+        schedule = plan.schedule
 
         # --- Stage 1 (functional part): the collective read.  In 'io'
         # mode blocks are read with their ghost layer (overlapping
         # reads); in 'exchange' mode exact blocks are read and halos
         # move as messages inside the frame program.
-        blocks = decomposition.blocks()
-        if self.ghost_mode == "io":
-            ghost_specs = [b.ghost_read(grid, self.ghost) for b in blocks]  # type: ignore[arg-type]
-            read_blocks = [(rs, rc) for rs, rc, _gl in ghost_specs]
-        else:
-            ghost_specs = None
-            read_blocks = [(b.start, b.count) for b in blocks]
         arrays, report = collective_read_blocks(
-            handle, read_blocks, self.hints, self.stripe, log
+            handle, plan.read_blocks, self.hints, self.stripe, log
         )
         io_seconds = self.io_model.price(report, self.world.partition).seconds
-
-        # --- Compositing schedule (every rank derives it identically).
-        m = self.policy.compositors_for(nprocs)
-        schedule = schedule_from_geometry(decomposition, self.camera, m)
 
         render_rate = (
             self.constants.render.samples_per_second_per_core
@@ -129,6 +134,7 @@ class ParallelVolumeRenderer:
             io_seconds,
             render_rate,
             self.ghost,
+            plan.ray_plans,
         )
         image = result[0][0]
         stage_times = np.array([r[1] for r in result.values])  # (p, 3)
@@ -160,6 +166,7 @@ def _frame_program(
     io_seconds: float,
     render_rate: float,
     ghost: int,
+    ray_plans: list | None = None,
 ):
     """One rank's frame: the three sequential stages of Sec. III-B."""
     from repro.render.ghost import ghost_exchange
@@ -189,7 +196,8 @@ def _frame_program(
         block.count,
         gl,
     )
-    partial = render_block(camera, vb, transfer, step)
+    ray_plan = ray_plans[ctx.rank] if ray_plans is not None else None
+    partial = render_block(camera, vb, transfer, step, plan=ray_plan)
     samples = partial.samples if partial is not None else 0
     yield from ctx.compute(samples / render_rate)
     t_render = ctx.now

@@ -17,7 +17,13 @@ from repro.render.camera import Camera
 from repro.render.volume import VolumeBlock
 from repro.render.decomposition import BlockDecomposition, Block3D
 from repro.render.image import PartialImage, composite_over, blank_image, image_to_ppm
-from repro.render.raycast import render_block, render_volume_serial
+from repro.render.raycast import (
+    RayPlan,
+    build_ray_plan,
+    render_block,
+    render_block_reference,
+    render_volume_serial,
+)
 from repro.render.multivariate import (
     MultivariateTransfer,
     render_block_multivar,
@@ -39,6 +45,9 @@ __all__ = [
     "composite_over",
     "blank_image",
     "image_to_ppm",
+    "RayPlan",
+    "build_ray_plan",
     "render_block",
+    "render_block_reference",
     "render_volume_serial",
 ]

@@ -88,6 +88,26 @@ class Camera:
         )
         return cls(tuple(center + offset), tuple(center), (0, 1, 0), fov_deg, width, height)
 
+    def plan_key(self) -> tuple:
+        """Hashable identity for plan caching.
+
+        Two cameras with equal keys generate identical rays, footprints,
+        and depth keys, so any geometry derived from one is valid for
+        the other.  Built from the *derived* frame (eye, basis, image
+        plane half-extents), so equivalent constructions share a key.
+        """
+        return (
+            self.orthographic,
+            self.width,
+            self.height,
+            tuple(self.eye.tolist()),
+            tuple(self.forward.tolist()),
+            tuple(self.right.tolist()),
+            tuple(self.up.tolist()),
+            self._half_w,
+            self._half_h,
+        )
+
     # -- rays --------------------------------------------------------------
 
     def rays_for_pixels(self, px: np.ndarray, py: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

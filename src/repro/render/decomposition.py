@@ -95,6 +95,11 @@ class BlockDecomposition:
             for d in range(3)
         ]
 
+    def plan_key(self) -> tuple:
+        """Hashable identity for plan caching: equal keys produce the
+        same blocks (grid, count, and block grid determine the edges)."""
+        return (self.grid_shape, self.num_blocks, self.block_grid)
+
     def block(self, index: int) -> Block3D:
         """The block with linear index ``index`` (x fastest)."""
         if not (0 <= index < self.num_blocks):

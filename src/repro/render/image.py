@@ -102,6 +102,32 @@ def blank_image(width: int, height: int) -> np.ndarray:
     return np.zeros((height, width, 4), dtype=np.float32)
 
 
+def composite_stack(stack: np.ndarray) -> np.ndarray:
+    """Over-accumulate a front-to-back fragment stack in one pass.
+
+    ``stack`` is (n, h, w, 4) premultiplied RGBA, fragment 0 nearest.
+    Front-to-back over gives every fragment the weight of the
+    transmittance above it — ``prod_{j<i} (1 - alpha_j)`` per pixel —
+    so the whole blend is a cumulative product and one weighted sum,
+    vectorized over the full tile instead of a Python loop per
+    fragment.
+    """
+    n = stack.shape[0]
+    if n == 1:
+        return stack[0].astype(np.float32, copy=True)
+    weights = np.empty(stack.shape[:3] + (1,), dtype=np.float32)
+    weights[0] = 1.0
+    np.cumprod(1.0 - stack[:-1, ..., 3:4], axis=0, out=weights[1:])
+    return np.einsum("nhwc,nhwk->hwc", stack, weights, optimize=True).astype(
+        np.float32, copy=False
+    )
+
+
+# Stacked compositing allocates one canvas layer per fragment; beyond
+# this many floats the loop fallback is cheaper than the allocation.
+_STACK_BUDGET_FLOATS = 1 << 26
+
+
 def composite_over(
     canvas: np.ndarray, partials: list[PartialImage], canvas_origin: tuple[int, int] = (0, 0)
 ) -> np.ndarray:
@@ -109,20 +135,40 @@ def composite_over(
 
     The canvas is treated as farther than every partial (it starts
     transparent, so ordering against it is irrelevant); partials are
-    sorted by depth.
+    sorted by depth.  Fragment lists are blended with one vectorized
+    over-accumulation across the union of their footprints
+    (:func:`composite_stack`); very large fragment sets fall back to
+    the per-fragment loop to bound memory.
     """
     ox, oy = canvas_origin
     ch, cw = canvas.shape[:2]
-    acc = blank_image(cw, ch)
+    clipped = []
     for p in sorted(partials, key=lambda p: p.depth):
         if p.empty:
             continue
-        clipped = p.crop((ox, oy, cw, ch))
-        if clipped.empty:
-            continue
-        x0, y0, w, h = clipped.rect
-        sl = (slice(y0 - oy, y0 - oy + h), slice(x0 - ox, x0 - ox + w))
-        acc[sl] = over(acc[sl], clipped.rgba)
+        c = p.crop((ox, oy, cw, ch))
+        if not c.empty:
+            clipped.append(c)
+    if not clipped:
+        return canvas.astype(np.float32, copy=True)
+    # Union bbox of the surviving fragments, in canvas coordinates.
+    bx0 = min(c.rect[0] for c in clipped) - ox
+    by0 = min(c.rect[1] for c in clipped) - oy
+    bx1 = max(c.rect[0] + c.rect[2] for c in clipped) - ox
+    by1 = max(c.rect[1] + c.rect[3] for c in clipped) - oy
+    bw, bh = bx1 - bx0, by1 - by0
+    acc = blank_image(cw, ch)
+    if len(clipped) * bh * bw * 4 <= _STACK_BUDGET_FLOATS:
+        stack = np.zeros((len(clipped), bh, bw, 4), dtype=np.float32)
+        for i, c in enumerate(clipped):
+            x0, y0, w, h = c.rect
+            stack[i, y0 - oy - by0 : y0 - oy - by0 + h, x0 - ox - bx0 : x0 - ox - bx0 + w] = c.rgba
+        acc[by0:by1, bx0:bx1] = composite_stack(stack)
+    else:
+        for c in clipped:
+            x0, y0, w, h = c.rect
+            sl = (slice(y0 - oy, y0 - oy + h), slice(x0 - ox, x0 - ox + w))
+            acc[sl] = over(acc[sl], c.rgba)
     return over(acc, canvas)
 
 

@@ -7,19 +7,45 @@ belongs to exactly one block (the one whose [t_enter, t_exit) interval
 contains it) and block-parallel rendering is exactly equivalent to
 serial rendering.
 
-The marching loop is vectorized across the footprint's pixels; the
-only Python-level loop is over sample indices.
+The production kernel (:func:`render_block`) marches with *active-ray
+compaction*: rays that survive footprint clipping are gathered into a
+dense working set, samples are taken in chunked batches (many sample
+indices per NumPy call instead of one Python iteration per global
+sample index), and rays that terminate — early-termination opacity or
+block exit — are periodically compacted out of the working set.  The
+global sample alignment is what makes this safe: compaction only
+changes *which rays* participate in a batch, never *where* any ray is
+sampled, so the compacted kernel computes the same integral as the
+plain per-sample loop (retained as :func:`render_block_reference`, the
+correctness oracle and the benchmark baseline).
+
+The per-block ray geometry (footprint, ray origins/directions, entry
+and exit sample indices) depends only on the camera, the block's world
+bounds, and the step — not on the data — so it can be computed once
+per (camera, decomposition) and reused across time steps; see
+:class:`RayPlan` and :func:`build_ray_plan` (used by the frame-plan
+cache in :mod:`repro.core.plan`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.render.camera import Camera
-from repro.render.image import PartialImage
+from repro.render.image import PartialImage, Rect
 from repro.render.transfer import TransferFunction
 from repro.render.volume import VolumeBlock
 from repro.utils.errors import ConfigError
+
+# Chunked-march tuning: target number of sample points per batch and
+# the window-width clamp.  Wider windows amortize NumPy call overhead
+# but waste more samples past early termination; narrower windows do
+# the opposite.
+_TARGET_BATCH = 1 << 19
+_MIN_CHUNK = 4
+_MAX_CHUNK = 64
 
 
 def ray_box_intersect(
@@ -33,15 +59,93 @@ def ray_box_intersect(
     tmin = np.minimum(t0, t1)
     tmax = np.maximum(t0, t1)
     # Axis-parallel rays: if the origin is outside the slab, miss.
-    for a in range(3):
-        par = dirs[..., a] == 0.0
-        if np.any(par):
-            outside = par & ((origins[..., a] < lo[a]) | (origins[..., a] > hi[a]))
-            tmin[..., a] = np.where(par, np.where(outside, np.inf, -np.inf), tmin[..., a])
-            tmax[..., a] = np.where(par, np.where(outside, -np.inf, np.inf), tmax[..., a])
+    par = dirs == 0.0
+    if np.any(par):
+        outside = par & ((origins < lo) | (origins > hi))
+        tmin = np.where(par, np.where(outside, np.inf, -np.inf), tmin)
+        tmax = np.where(par, np.where(outside, -np.inf, np.inf), tmax)
     t_enter = np.maximum(tmin.max(axis=-1), 0.0)
     t_exit = tmax.min(axis=-1)
     return t_enter, t_exit
+
+
+@dataclass(frozen=True)
+class RayPlan:
+    """Data-independent ray geometry for one (camera, block, step).
+
+    Arrays are compacted over the rays that actually hit the block's
+    AABB; ``pix`` holds each surviving ray's flat index into the
+    footprint rectangle (row-major over (h, w)).  ``k_lo``/``k_hi``
+    are the globally aligned sample-index bounds per ray.
+    """
+
+    rect: Rect
+    pix: np.ndarray  # (n,) int64 flat footprint indices of hit rays
+    origins: np.ndarray  # (n, 3) float64
+    dirs: np.ndarray  # (n, 3) float64 unit directions
+    k_lo: np.ndarray  # (n,) int64 first global sample index (inclusive)
+    k_hi: np.ndarray  # (n,) int64 last global sample index (exclusive)
+    k_min: int
+    k_max: int
+    depth: float  # compositing sort key of the source block
+    step: float
+
+    @property
+    def num_rays(self) -> int:
+        return int(self.pix.size)
+
+
+def build_ray_plan(
+    camera: Camera,
+    world_lo: np.ndarray,
+    world_hi: np.ndarray,
+    step: float,
+) -> RayPlan | None:
+    """Ray geometry for a block AABB; None when nothing can contribute.
+
+    Everything here depends only on the camera, the box, and the step,
+    so frame-plan caches may reuse the result across time steps.
+    """
+    if step <= 0:
+        raise ConfigError(f"step must be positive, got {step}")
+    lo = np.asarray(world_lo, dtype=np.float64)
+    hi = np.asarray(world_hi, dtype=np.float64)
+    rect = camera.footprint(lo, hi)
+    if rect is None:
+        return None
+    x0, y0, w, h = rect
+    px, py = np.meshgrid(np.arange(x0, x0 + w), np.arange(y0, y0 + h))
+    origins, dirs = camera.rays_for_pixels(px, py)
+    t_enter, t_exit = ray_box_intersect(origins, dirs, lo, hi)
+    hit = t_exit > t_enter
+    if not np.any(hit):
+        return None
+    # Globally aligned sample indices: sample k sits at (k + 1/2) step.
+    flat = np.flatnonzero(hit.ravel())
+    te = t_enter.ravel()[flat]
+    tx = t_exit.ravel()[flat]
+    k_lo = np.ceil(te / step - 0.5).astype(np.int64)
+    k_hi = np.ceil(tx / step - 0.5).astype(np.int64)  # exclusive
+    nonempty = k_hi > k_lo
+    if not np.any(nonempty):
+        return None
+    if not np.all(nonempty):
+        flat = flat[nonempty]
+        k_lo = k_lo[nonempty]
+        k_hi = k_hi[nonempty]
+    center = (lo + hi) / 2.0
+    return RayPlan(
+        rect=rect,
+        pix=flat,
+        origins=origins.reshape(-1, 3)[flat],
+        dirs=dirs.reshape(-1, 3)[flat],
+        k_lo=k_lo,
+        k_hi=k_hi,
+        k_min=int(k_lo.min()),
+        k_max=int(k_hi.max()),
+        depth=camera.depth_of(center),
+        step=float(step),
+    )
 
 
 def render_block(
@@ -50,12 +154,115 @@ def render_block(
     tf: TransferFunction,
     step: float = 1.0,
     early_termination: float = 0.999,
+    plan: RayPlan | None = None,
 ) -> PartialImage | None:
     """Ray-cast one block into a partial image over its footprint.
 
     Returns None when the block is entirely off screen or contributes
     no samples.  ``step`` is the global sampling distance in voxels
     (world units); all blocks of a frame must use the same value.
+    ``plan`` may carry precomputed ray geometry (from
+    :func:`build_ray_plan` with the same camera/block/step); passing
+    it skips the per-frame geometry setup entirely.
+    """
+    if step <= 0:
+        raise ConfigError(f"step must be positive, got {step}")
+    if plan is None:
+        plan = build_ray_plan(camera, block.world_lo, block.world_hi, step)
+    elif plan.step != step:
+        raise ConfigError(
+            f"ray plan was built for step={plan.step}, rendering with step={step}"
+        )
+    if plan is None:
+        return None
+    x0, y0, w, h = plan.rect
+
+    # Dense working set over surviving rays.  Every ray marches at its
+    # own pace: ``cur`` is its next global sample index, so a batch
+    # computes exactly each live ray's next window of samples — no
+    # pre-entry or post-exit waste.  Finished rays (past their exit
+    # index or below the termination threshold) are compacted out.
+    pix = plan.pix
+    origins = plan.origins.astype(np.float32)
+    dirs = plan.dirs.astype(np.float32)
+    k_hi = plan.k_hi
+    cur = plan.k_lo.copy()
+    threshold = np.float32(1.0 - early_termination)
+    step32 = np.float32(step)
+    # Per-bin marching table: rows are (alpha * rgb, alpha) with the
+    # step folded into alpha, so the inner loop needs no exp and no
+    # per-sample colour multiply.
+    march = tf.march_table(step)
+    trans = np.ones(pix.size, dtype=np.float32)
+    color = np.zeros((pix.size, 3), dtype=np.float32)
+    out_trans = np.ones(h * w, dtype=np.float32)
+    out_color = np.zeros((h * w, 3), dtype=np.float32)
+    samples = 0
+
+    while pix.size:
+        c = min(
+            max(_TARGET_BATCH // pix.size, _MIN_CHUNK),
+            _MAX_CHUNK,
+            int((k_hi - cur).max()),
+        )
+        kk = cur[:, None] + np.arange(c, dtype=np.int64)[None, :]  # (n, c)
+        valid = kk < k_hi[:, None]
+        t = (kk.astype(np.float32) + np.float32(0.5)) * step32
+        pts = origins[:, None, :] + t[..., None] * dirs[:, None, :]
+        values = block.sample_world_f32(pts)
+        frag = march[tf._bin_index(values)]  # (n, c, 4): alpha*rgb, alpha
+        alpha = frag[..., 3]
+        alpha[~valid] = 0.0
+        one_minus = 1.0 - alpha
+        # Transmittance entering each sample of the window; a sample
+        # applies while the ray stays above the termination threshold.
+        # Termination is absorbing (alpha only reduces transmittance),
+        # so the unmasked cumulative product is a valid stand-in for
+        # the sequential per-sample check.
+        t_before = np.empty_like(one_minus)
+        t_before[:, 0] = trans
+        if c > 1:
+            t_before[:, 1:] = trans[:, None] * np.cumprod(one_minus[:, :-1], axis=1)
+        applied = valid & (t_before > threshold)
+        samples += int(np.count_nonzero(applied))
+        weight = np.where(applied, t_before, np.float32(0.0))
+        color += (weight[:, None, :] @ frag[..., :3])[:, 0, :]
+        trans = trans * np.prod(np.where(applied, one_minus, np.float32(1.0)), axis=1)
+        cur = cur + c
+        finished = (cur >= k_hi) | (trans <= threshold)
+        if np.any(finished):
+            out_trans[pix[finished]] = trans[finished]
+            out_color[pix[finished]] = color[finished]
+            keep = ~finished
+            pix = pix[keep]
+            origins = origins[keep]
+            dirs = dirs[keep]
+            k_hi = k_hi[keep]
+            cur = cur[keep]
+            trans = trans[keep]
+            color = color[keep]
+    alpha_total = 1.0 - out_trans
+    if not np.any(alpha_total > 0):
+        return None
+    rgba = np.concatenate(
+        [out_color.reshape(h, w, 3), alpha_total.reshape(h, w, 1)], axis=-1
+    )
+    return PartialImage(plan.rect, rgba, depth=plan.depth, samples=samples)
+
+
+def render_block_reference(
+    camera: Camera,
+    block: VolumeBlock,
+    tf: TransferFunction,
+    step: float = 1.0,
+    early_termination: float = 0.999,
+) -> PartialImage | None:
+    """The plain per-sample kernel: one Python iteration per global
+    sample index, full-footprint masks, float64 accumulation.
+
+    Retained as the correctness oracle for the compacted kernel (the
+    property tests assert equivalence to float tolerance) and as the
+    baseline the perf benchmarks measure speedup against.
     """
     if step <= 0:
         raise ConfigError(f"step must be positive, got {step}")

@@ -109,6 +109,7 @@ class Engine:
         self._seq = 0
         self._processes: list[Process] = []
         self._running = False
+        self._cancelled = 0  # cancelled events still sitting in the heap
 
     # -- scheduling ---------------------------------------------------
 
@@ -126,8 +127,23 @@ class Engine:
             )
         self._seq += 1
         ev = Event(time, priority, self._seq, fn)
+        ev.on_cancel = self._note_cancelled
         heapq.heappush(self._heap, ev)
         return ev
+
+    def _note_cancelled(self) -> None:
+        """Keep the live cancelled count; compact when they dominate.
+
+        Compaction rebuilds the heap without cancelled entries once
+        they exceed half the queue, so long campaigns that cancel many
+        timeouts neither scan the heap per query nor let dead events
+        accumulate without bound.
+        """
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Register a coroutine process and start it at the current time."""
@@ -155,6 +171,7 @@ class Engine:
             while self._heap:
                 ev = heapq.heappop(self._heap)
                 if ev.cancelled:
+                    self._cancelled = max(0, self._cancelled - 1)
                     continue
                 if until is not None and ev.time > until:
                     heapq.heappush(self._heap, ev)
@@ -176,6 +193,7 @@ class Engine:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
+                self._cancelled = max(0, self._cancelled - 1)
                 continue
             self.now = ev.time
             ev.fn()
@@ -184,8 +202,9 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of queued (non-cancelled) events — O(1) via the live
+        cancellation counter."""
+        return len(self._heap) - self._cancelled
 
     @property
     def processes(self) -> list[Process]:

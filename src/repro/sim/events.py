@@ -14,7 +14,7 @@ class Event:
     counter that makes ordering deterministic for simultaneous events.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "on_cancel")
 
     def __init__(self, time: float, priority: int, seq: int, fn: Callable[[], None]):
         self.time = time
@@ -22,10 +22,16 @@ class Event:
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        # Set by the owning engine so it can keep a live count of
+        # cancelled-but-queued events (and compact its heap).
+        self.on_cancel: Callable[[], None] | None = None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.on_cancel is not None:
+                self.on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)

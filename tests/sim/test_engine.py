@@ -204,3 +204,57 @@ class TestProcesses:
             return order
 
         assert run_once() == run_once()
+
+
+class TestCancellationAccounting:
+    """pending_events is a live counter; cancellations compact the heap."""
+
+    def test_pending_events_tracks_cancellations(self):
+        eng = Engine()
+        events = [eng.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert eng.pending_events == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert eng.pending_events == 8
+        eng.run()
+        assert eng.pending_events == 0
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        ev = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        ev.cancel()
+        assert eng.pending_events == 1
+
+    def test_heap_compacts_when_cancellations_dominate(self):
+        eng = Engine()
+        events = [eng.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for ev in events[:60]:
+            ev.cancel()
+        # Crossing the half-cancelled mark compacts the heap, so dead
+        # entries never dominate: at most half the remaining heap is
+        # cancelled, and the live count stays exact.
+        assert eng.pending_events == 40
+        assert len(eng._heap) < 100
+        dead = sum(1 for e in eng._heap if e.cancelled)
+        assert dead * 2 <= len(eng._heap)
+        assert len(eng._heap) - dead == 40
+
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=50.0), st.booleans()),
+                    min_size=0, max_size=200))
+    def test_random_cancel_patterns(self, spec):
+        eng = Engine()
+        fired = []
+        events = [
+            eng.schedule(delay, lambda i=i: fired.append(i))
+            for i, (delay, _cancel) in enumerate(spec)
+        ]
+        cancelled = {i for i, (_d, c) in enumerate(spec) if c}
+        for i in cancelled:
+            events[i].cancel()
+        assert eng.pending_events == len(spec) - len(cancelled)
+        eng.run()
+        assert eng.pending_events == 0
+        assert sorted(fired) == [i for i in range(len(spec)) if i not in cancelled]
