@@ -24,6 +24,7 @@ __all__ = ["__version__"]
 from repro.core import FrameTiming, ParallelVolumeRenderer, render_time_series  # noqa: E402
 from repro.data import SupernovaModel, write_vh1_netcdf  # noqa: E402
 from repro.model import DATASETS, FrameModel  # noqa: E402
+from repro.obs import Tracer, stage_report, write_chrome_trace  # noqa: E402
 from repro.pio import IOHints, NetCDFHandle, RawHandle  # noqa: E402
 from repro.render import Camera, TransferFunction  # noqa: E402
 from repro.vmpi import MPIWorld  # noqa: E402
@@ -42,4 +43,7 @@ __all__ += [  # noqa: PLE0604
     "Camera",
     "TransferFunction",
     "MPIWorld",
+    "Tracer",
+    "stage_report",
+    "write_chrome_trace",
 ]

@@ -1,9 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the tour a new user takes:
+The commands cover the tour a new user takes:
 
 * ``render``    — synthesize a supernova time step and render it end to
   end on a simulated partition, writing a PPM.
+* ``trace``     — render one frame with tracing on and write a Chrome
+  ``trace_event`` JSON plus the paper-style per-rank stage report.
 * ``model``     — price a paper-scale frame (any dataset x cores x I/O
   mode) and print the Fig. 3/Table II style breakdown.
 * ``scorecard`` — the calibration-vs-paper fidelity table.
@@ -47,6 +49,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("--elevation", type=float, default=20.0)
     p_render.add_argument("--step", type=float, default=0.7, help="ray sampling step")
     p_render.add_argument("--out", default="frame.ppm", help="output PPM path")
+
+    p_trace = sub.add_parser(
+        "trace", help="render one traced frame; write Chrome trace + stage report"
+    )
+    p_trace.add_argument("--grid", type=int, default=24, help="cubic grid edge (default 24)")
+    p_trace.add_argument("--cores", type=int, default=8, help="simulated cores (default 8)")
+    p_trace.add_argument("--image", type=int, default=64, help="square image edge (default 64)")
+    p_trace.add_argument("--seed", type=int, default=1530)
+    p_trace.add_argument("--step", type=float, default=0.8, help="ray sampling step")
+    p_trace.add_argument(
+        "--trace-out", default="trace.json",
+        help="Chrome trace_event JSON path (default trace.json)",
+    )
+    p_trace.add_argument(
+        "--report-out", default="trace.txt",
+        help="stage report path (default trace.txt)",
+    )
 
     p_model = sub.add_parser("model", help="price a paper-scale frame")
     p_model.add_argument("--dataset", default="1120", choices=("1120", "2240", "4480"))
@@ -112,6 +131,40 @@ def cmd_render(args: argparse.Namespace) -> int:
         f"{result.schedule.total_messages} compositing messages"
     )
     print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import ParallelVolumeRenderer
+    from repro.data import SupernovaModel, write_vh1_netcdf
+    from repro.obs import Tracer, stage_report, write_chrome_trace
+    from repro.pio import IOHints, NetCDFHandle
+    from repro.render import Camera, TransferFunction
+    from repro.storage.accesslog import AccessLog
+    from repro.vmpi import MPIWorld
+
+    grid = (args.grid,) * 3
+    model = SupernovaModel(grid, seed=args.seed)
+    handle = NetCDFHandle(write_vh1_netcdf(model), "vx")
+    camera = Camera.looking_at_volume(grid, width=args.image, height=args.image)
+    transfer = TransferFunction.supernova(*model.value_range("vx"))
+    tracer = Tracer(enabled=True)
+    renderer = ParallelVolumeRenderer(
+        MPIWorld.for_cores(args.cores), camera, transfer, step=args.step,
+        hints=IOHints(cb_buffer_size=1 << 16, cb_nodes=max(args.cores // 4, 1)),
+        tracer=tracer,
+    )
+    log = AccessLog()
+    result = renderer.render_frame(handle, log=log)
+    write_chrome_trace(tracer, args.trace_out)
+    report = stage_report(tracer)
+    with open(args.report_out, "w") as fh:
+        fh.write(report + "\n")
+    print(report)
+    print(f"\n{result.timing}")
+    print(f"trace: {len(tracer.spans)} spans -> {args.trace_out} "
+          f"(load in chrome://tracing or ui.perfetto.dev)")
+    print(f"report: {args.report_out}")
     return 0
 
 
@@ -200,6 +253,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "render": cmd_render,
+        "trace": cmd_trace,
         "model": cmd_model,
         "scorecard": cmd_scorecard,
         "inventory": cmd_inventory,

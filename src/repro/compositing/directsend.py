@@ -39,9 +39,19 @@ def direct_send_compose(
     piece to its active-pixel bounding box before sending (the
     IceT-style optimization; same image, smaller messages).
     """
+    tr = getattr(ctx, "tracer", None)
+    if tr is not None and not tr.enabled:
+        tr = None
     outgoing = schedule.outgoing(ctx.rank)
     reqs = []
     for msg in outgoing:
+        dest = schedule.compositor_rank(msg.tile)
+        if dest == ctx.rank:
+            # Local contribution, no wire transfer — and no piece
+            # construction: the compositor branch below crops its own
+            # partial directly, so building one here would be thrown
+            # away on every self-message.
+            continue
         # A block can be scheduled (its AABB projects onto the tile) yet
         # render to nothing (fully transparent); send an empty piece so
         # the compositor's expected count still balances.
@@ -51,9 +61,9 @@ def direct_send_compose(
             piece = partial.crop(schedule.tiles.tile(msg.tile))
             if compress:
                 piece = piece.trimmed()
-        dest = schedule.compositor_rank(msg.tile)
-        if dest == ctx.rank:
-            continue  # local contribution, no wire transfer
+        if tr is not None:
+            tr.count("compose.pieces_sent")
+            tr.count("compose.pixels_sent", int(piece.rgba.shape[0] * piece.rgba.shape[1]))
         reqs.append(ctx.isend(piece, dest, COMPOSITE_TAG))
 
     my_tile = ctx.rank if ctx.rank < schedule.num_compositors else None
@@ -66,7 +76,16 @@ def direct_send_compose(
         ):
             pieces.append(partial.crop(schedule.tiles.tile(my_tile)))
         for _ in range(len(expected)):
+            t_wait = ctx.now
             piece = yield from ctx.recv(tag=COMPOSITE_TAG)
+            if tr is not None:
+                # One span per received piece: the gap between posting
+                # the receive and the piece landing is compositor wait.
+                tr.span(
+                    ctx.rank, "recv piece", "compose", t_wait, ctx.now,
+                    tile=my_tile,
+                    pixels=int(piece.rgba.shape[0] * piece.rgba.shape[1]),
+                )
             pieces.append(piece)
         x0, y0, w, h = schedule.tiles.tile(my_tile)
         canvas = blank_image(w, h)

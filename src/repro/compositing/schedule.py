@@ -142,8 +142,12 @@ def schedule_from_geometry(
     """
     key = (decomposition.plan_key(), camera.plan_key(), int(num_compositors), strips)
     if cache:
-        hit = _SCHEDULE_CACHE.get(key)
+        hit = _SCHEDULE_CACHE.pop(key, None)
         if hit is not None:
+            # True LRU: re-insert on hit so recency is refreshed.
+            # Plain FIFO eviction thrashes an orbit campaign whose
+            # camera count exceeds the cache every revolution.
+            _SCHEDULE_CACHE[key] = hit
             _schedule_cache_stats["hits"] += 1
             return hit
         _schedule_cache_stats["misses"] += 1

@@ -27,6 +27,7 @@ from repro.core.plan import FramePlanCache
 from repro.core.timing import FrameTiming
 from repro.model.constants import DEFAULT_CONSTANTS, ModelConstants
 from repro.model.io import IOTimeModel
+from repro.obs.tracer import Tracer
 from repro.pio.hints import IOHints
 from repro.pio.reader import DatasetHandle, IOReport, collective_read_blocks
 from repro.render.camera import Camera
@@ -51,6 +52,7 @@ class FrameResult:
     num_compositors: int
     messages: int
     bytes_sent: int
+    trace: Tracer | None = None  # the frame's trace when tracing was on
 
 
 class ParallelVolumeRenderer:
@@ -68,6 +70,7 @@ class ParallelVolumeRenderer:
         ghost: int = 1,
         ghost_mode: str = "io",
         constants: ModelConstants = DEFAULT_CONSTANTS,
+        tracer: Tracer | None = None,
     ):
         if ghost_mode not in ("io", "exchange"):
             raise ConfigError(
@@ -84,6 +87,7 @@ class ParallelVolumeRenderer:
         self.ghost = ghost
         self.ghost_mode = ghost_mode
         self.constants = constants
+        self.tracer = tracer
         self.io_model = IOTimeModel(constants, stripe)
         # Camera+decomposition keyed memo of the frame's geometry
         # (footprints, ray/box intersections, tile ownership, message
@@ -122,6 +126,14 @@ class ParallelVolumeRenderer:
             self.constants.render.samples_per_second_per_core
             / self.constants.render.load_imbalance
         )
+        # The tracer rides through the whole stack (engine, network,
+        # rank contexts, the frame program).  Without a user tracer a
+        # disabled one still records the three stage spans per rank —
+        # FrameTiming below is a derived view over those spans, so the
+        # timing path is identical traced or not.
+        tracer = self.tracer if self.tracer is not None else Tracer(enabled=False)
+        tracer.begin_frame()
+        self.world.tracer = tracer
         result = self.world.run(
             _frame_program,
             arrays,
@@ -136,13 +148,16 @@ class ParallelVolumeRenderer:
             self.ghost,
             plan.ray_plans,
         )
-        image = result[0][0]
-        stage_times = np.array([r[1] for r in result.values])  # (p, 3)
+        image = result[0]
+        stage_max = tracer.stage_maxima()
         timing = FrameTiming(
-            io_s=float(stage_times[:, 0].max()),
-            render_s=float(stage_times[:, 1].max()),
-            composite_s=float(stage_times[:, 2].max()),
+            io_s=stage_max.get("io", 0.0),
+            render_s=stage_max.get("render", 0.0),
+            composite_s=stage_max.get("composite", 0.0),
         )
+        if tracer.enabled and log is not None:
+            # Bridge the physical access log into the frame's I/O window.
+            log.bridge_spans(tracer, 0.0, timing.io_s)
         return FrameResult(
             image=image,
             timing=timing,
@@ -151,6 +166,7 @@ class ParallelVolumeRenderer:
             num_compositors=m,
             messages=result.messages,
             bytes_sent=result.bytes_sent,
+            trace=tracer if tracer.enabled else None,
         )
 
 
@@ -168,9 +184,16 @@ def _frame_program(
     ghost: int,
     ray_plans: list | None = None,
 ):
-    """One rank's frame: the three sequential stages of Sec. III-B."""
+    """One rank's frame: the three sequential stages of Sec. III-B.
+
+    Stage boundaries are recorded as tracer spans (one ``io``,
+    ``render``, ``composite`` span per rank); :class:`FrameTiming` and
+    the trace reports both derive from them, so there is exactly one
+    timing record per frame.
+    """
     from repro.render.ghost import ghost_exchange
 
+    tr = ctx.tracer
     t0 = ctx.now
     # Stage 1: collective I/O. All ranks enter and leave together; the
     # exact plan was priced outside (the data already sits in `arrays`).
@@ -186,6 +209,8 @@ def _frame_program(
         _rs, _rc, gl = ghost_specs[ctx.rank]
         padded = arrays[ctx.rank]
     t_io = ctx.now
+    if tr is not None:
+        tr.stage(ctx.rank, "io", t0, t_io)
 
     # Stage 2: local ray casting — no communication (Sec. III-B2).
     block = decomposition.block(ctx.rank)
@@ -201,9 +226,13 @@ def _frame_program(
     samples = partial.samples if partial is not None else 0
     yield from ctx.compute(samples / render_rate)
     t_render = ctx.now
+    if tr is not None:
+        tr.stage(ctx.rank, "render", t_io, t_render)
 
     # Stage 3: direct-send compositing (real messages on the torus).
     tile = yield from direct_send_compose(ctx, partial, schedule)
     final = yield from assemble_final_image(ctx, tile, schedule, root=0)
     t_done = ctx.now
-    return final, (t_io - t0, t_render - t_io, t_done - t_render)
+    if tr is not None:
+        tr.stage(ctx.rank, "composite", t_render, t_done)
+    return final

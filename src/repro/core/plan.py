@@ -96,8 +96,11 @@ class FramePlanCache:
             ghost_mode,
             int(num_compositors),
         )
-        plan = self._plans.get(key)
+        plan = self._plans.pop(key, None)
         if plan is not None:
+            # Re-insert on hit: eviction below pops the *least recently
+            # used* entry, not merely the oldest inserted.
+            self._plans[key] = plan
             self.hits += 1
             return plan
         self.misses += 1

@@ -22,6 +22,7 @@ import numpy as np
 from repro.machine.mapping import RankMapping
 from repro.network.costs import LinkCostModel
 from repro.network.topology import TorusTopology
+from repro.obs.tracer import CAT_COMM
 from repro.sim.engine import Engine
 from repro.sim.events import Future
 from repro.utils.errors import CommunicationError
@@ -38,6 +39,7 @@ class DESNetwork:
         mapping: RankMapping,
         link: LinkCostModel | None = None,
         recv_overhead_s: float = 1e-6,
+        tracer=None,
     ):
         check_non_negative("recv_overhead_s", recv_overhead_s)
         self.engine = engine
@@ -45,6 +47,7 @@ class DESNetwork:
         self.mapping = mapping
         self.link = link or LinkCostModel()
         self.recv_overhead_s = recv_overhead_s
+        self.tracer = tracer  # optional repro.obs.Tracer
         self._inject_free = np.zeros(topology.num_nodes, dtype=np.float64)
         self._eject_free = np.zeros(topology.num_nodes, dtype=np.float64)
         # Instrumentation for tests and reports.
@@ -62,8 +65,12 @@ class DESNetwork:
         self.messages_sent += 1
         self.bytes_sent += int(nbytes)
 
+        tracer = self.tracer
         if src_node == dst_node:
             deliver = now + self.link.sw_overhead_s + self.recv_overhead_s
+            if tracer is not None and tracer.enabled:
+                self._trace(tracer, src_rank, dst_rank, src_node, dst_node,
+                            nbytes, 0, now, deliver)
             self.engine.schedule_at(deliver, lambda: fut.resolve(None))
             return fut
 
@@ -81,8 +88,22 @@ class DESNetwork:
         eject_busy = self.recv_overhead_s + wire
         deliver = max(arrive - wire, self._eject_free[dst_node]) + eject_busy
         self._eject_free[dst_node] = deliver
+        if tracer is not None and tracer.enabled:
+            self._trace(tracer, src_rank, dst_rank, src_node, dst_node,
+                        nbytes, hops, now, deliver)
         self.engine.schedule_at(deliver, lambda: fut.resolve(None))
         return fut
+
+    def _trace(self, tracer, src_rank, dst_rank, src_node, dst_node,
+               nbytes, hops, t0, t1) -> None:
+        """One per-message span on the sender's lane plus counters."""
+        tracer.span(
+            src_rank, f"msg->{dst_rank}", CAT_COMM, t0, t1,
+            nbytes=int(nbytes), hops=hops, dst=dst_rank,
+        )
+        tracer.count("messages")
+        tracer.count("bytes", int(nbytes))
+        tracer.link(src_node, dst_node, int(nbytes))
 
     def reset_stats(self) -> None:
         self.messages_sent = 0

@@ -1,0 +1,42 @@
+"""Observability: simulated-time tracing, metrics, and exporters.
+
+The pipeline's instrumentation layer.  A :class:`Tracer` rides through
+the engine, the simulated MPI, and the compositing code, recording
+spans and counters in *simulated* time; :mod:`repro.obs.export` turns
+the record into a Chrome ``trace_event`` JSON or the paper's Table II
+style per-rank stage report.
+"""
+
+from repro.obs.tracer import (
+    CAT_COLL,
+    CAT_COMM,
+    CAT_COMPOSE,
+    CAT_IO,
+    CAT_PROC,
+    CAT_STAGE,
+    STAGES,
+    Span,
+    Tracer,
+)
+from repro.obs.export import (
+    chrome_trace,
+    span_summary,
+    stage_report,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "STAGES",
+    "CAT_STAGE",
+    "CAT_COMM",
+    "CAT_COLL",
+    "CAT_COMPOSE",
+    "CAT_IO",
+    "CAT_PROC",
+    "chrome_trace",
+    "write_chrome_trace",
+    "stage_report",
+    "span_summary",
+]

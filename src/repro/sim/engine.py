@@ -18,7 +18,10 @@ class Process:
     processes can ``result = yield child.done``.
     """
 
-    __slots__ = ("engine", "gen", "name", "done", "waiting_on", "_finished")
+    __slots__ = (
+        "engine", "gen", "name", "done", "waiting_on", "_finished",
+        "steps", "spawned_at",
+    )
 
     def __init__(self, engine: "Engine", gen: Generator, name: str):
         self.engine = engine
@@ -27,6 +30,8 @@ class Process:
         self.done = Future(name=f"{name}.done")
         self.waiting_on: str = "start"
         self._finished = False
+        self.steps = 0  # generator resumptions — the process's event count
+        self.spawned_at = engine.now
 
     @property
     def finished(self) -> bool:
@@ -34,11 +39,18 @@ class Process:
 
     def _step(self, send_value: Any) -> None:
         """Resume the generator, then dispatch whatever it yields next."""
+        self.steps += 1
         try:
             yielded = self.gen.send(send_value)
         except StopIteration as stop:
             self._finished = True
             self.waiting_on = "finished"
+            eng = self.engine
+            if eng.tracer is not None and eng.tracer.enabled:
+                eng.tracer.span(
+                    -1, self.name, "proc", self.spawned_at, eng.now,
+                    steps=self.steps,
+                )
             self.done.resolve(stop.value)
             return
         self._dispatch(yielded)
@@ -103,8 +115,9 @@ class Engine:
     with an empty event queue — the simulated-MPI analogue of a hung job.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.now: float = 0.0
+        self.tracer = tracer  # optional repro.obs.Tracer (process spans)
         self._heap: list[Event] = []
         self._seq = 0
         self._processes: list[Process] = []
@@ -195,6 +208,10 @@ class Engine:
             if ev.cancelled:
                 self._cancelled = max(0, self._cancelled - 1)
                 continue
+            if ev.time < self.now:
+                # Same monotonicity guard as run(): without it,
+                # single-stepping silently rewinds simulated time.
+                raise SimulationError("event queue yielded time running backwards")
             self.now = ev.time
             ev.fn()
             return True

@@ -104,6 +104,55 @@ class AccessLog:
             f"{len(self.meta_accesses())} metadata ops"
         )
 
+    # -- trace bridging ---------------------------------------------------
+
+    def bridge_spans(
+        self,
+        tracer,
+        t0: float,
+        t1: float,
+        max_spans: int = 512,
+    ) -> int:
+        """Project the access sequence into a tracer window as I/O spans.
+
+        Physical accesses carry no simulated clock — the two-phase read
+        runs outside the engine and its duration is priced analytically
+        — so the bridge lays each actor's accesses end-to-end across
+        ``[t0, t1]``, with widths proportional to bytes moved.  The
+        *structure* (which aggregator touched what, in which order, how
+        big) is faithful; the absolute placement inside the window is a
+        visualization.  Returns the number of spans emitted; beyond
+        ``max_spans`` accesses the rest are summarized in a counter so
+        huge logs do not swamp the trace.
+        """
+        from repro.obs.tracer import CAT_IO
+
+        if not getattr(tracer, "enabled", False) or t1 <= t0 or not self.accesses:
+            return 0
+        kept = self.accesses[:max_spans]
+        dropped = len(self.accesses) - len(kept)
+        by_actor: dict[int, list[Access]] = {}
+        for a in kept:
+            by_actor.setdefault(a.actor, []).append(a)
+        emitted = 0
+        for actor, accs in by_actor.items():
+            # Metadata ops have zero length; give them a nominal byte
+            # so they remain visible as slivers.
+            weights = [max(a.length, 1) for a in accs]
+            scale = (t1 - t0) / sum(weights)
+            cur = t0
+            for a, w in zip(accs, weights):
+                dur = w * scale
+                tracer.span(
+                    actor, f"{a.kind} {fmt_bytes(a.length)}", CAT_IO,
+                    cur, cur + dur, offset=a.offset, length=a.length,
+                )
+                cur += dur
+                emitted += 1
+        if dropped:
+            tracer.count("io.accesses_dropped", dropped)
+        return emitted
+
 
 class BlockMap:
     """Which file blocks were touched — the Fig. 9 picture.

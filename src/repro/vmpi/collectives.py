@@ -27,6 +27,23 @@ def _coll_tag(ctx: Any) -> int:
     return tag
 
 
+def traced(ctx: Any, name: str, gen: Generator) -> Generator:
+    """Run a collective generator inside a tracer span (cat ``coll``).
+
+    Each participating rank gets its own span covering its entry to
+    exit — ranks enter collectives at different times, so the spans'
+    stagger is the collective's skew.  Costs one attribute lookup when
+    no (enabled) tracer rides the context.
+    """
+    tr = getattr(ctx, "tracer", None)
+    if tr is None or not tr.enabled:
+        return (yield from gen)
+    t0 = ctx.now
+    result = yield from gen
+    tr.span(ctx.rank, name, "coll", t0, ctx.now)
+    return result
+
+
 def barrier(ctx: Any) -> Generator:
     """Dissemination barrier: ceil(log2 p) rounds, works for any p."""
     p = ctx.size

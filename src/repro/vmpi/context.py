@@ -19,11 +19,19 @@ class RankContext:
     plain methods returning :class:`Request` handles.
     """
 
-    def __init__(self, rank: int, size: int, board: MessageBoard, engine: Engine):
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        board: MessageBoard,
+        engine: Engine,
+        tracer=None,
+    ):
         self.rank = int(rank)
         self.size = int(size)
         self.board = board
         self.engine = engine
+        self.tracer = tracer  # optional repro.obs.Tracer
         self._coll_seq = 0
         self.compute_seconds = 0.0  # accumulated local compute time
 
@@ -97,31 +105,39 @@ class RankContext:
     # -- collectives ---------------------------------------------------------
 
     def barrier(self) -> Generator:
-        return (yield from collectives.barrier(self))
+        return (yield from collectives.traced(self, "barrier", collectives.barrier(self)))
 
     def bcast(self, data: Any, root: int = 0) -> Generator:
-        return (yield from collectives.bcast(self, data, root))
+        return (yield from collectives.traced(
+            self, "bcast", collectives.bcast(self, data, root)))
 
     def reduce(self, value: Any, op: Any = "sum", root: int = 0) -> Generator:
-        return (yield from collectives.reduce(self, value, op, root))
+        return (yield from collectives.traced(
+            self, "reduce", collectives.reduce(self, value, op, root)))
 
     def allreduce(self, value: Any, op: Any = "sum") -> Generator:
-        return (yield from collectives.allreduce(self, value, op))
+        return (yield from collectives.traced(
+            self, "allreduce", collectives.allreduce(self, value, op)))
 
     def gather(self, value: Any, root: int = 0) -> Generator:
-        return (yield from collectives.gather(self, value, root))
+        return (yield from collectives.traced(
+            self, "gather", collectives.gather(self, value, root)))
 
     def scatter(self, values: Any, root: int = 0) -> Generator:
-        return (yield from collectives.scatter(self, values, root))
+        return (yield from collectives.traced(
+            self, "scatter", collectives.scatter(self, values, root)))
 
     def allgather(self, value: Any) -> Generator:
-        return (yield from collectives.allgather(self, value))
+        return (yield from collectives.traced(
+            self, "allgather", collectives.allgather(self, value)))
 
     def alltoall(self, values: Any) -> Generator:
-        return (yield from collectives.alltoall(self, values))
+        return (yield from collectives.traced(
+            self, "alltoall", collectives.alltoall(self, values)))
 
     def alltoallv(self, by_dest: dict[int, Any]) -> Generator:
-        return (yield from collectives.alltoallv(self, by_dest))
+        return (yield from collectives.traced(
+            self, "alltoallv", collectives.alltoallv(self, by_dest)))
 
     def split(self, color: Any, key: int | None = None) -> Generator:
         """Collective MPI_Comm_split: returns this rank's group context."""
@@ -130,10 +146,12 @@ class RankContext:
         return (yield from _split(self, color, key))
 
     def reduce_scatter(self, values: Any, op: Any = "sum") -> Generator:
-        return (yield from collectives.reduce_scatter(self, values, op))
+        return (yield from collectives.traced(
+            self, "reduce_scatter", collectives.reduce_scatter(self, values, op)))
 
     def scan(self, value: Any, op: Any = "sum") -> Generator:
-        return (yield from collectives.scan(self, value, op))
+        return (yield from collectives.traced(
+            self, "scan", collectives.scan(self, value, op)))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RankContext {self.rank}/{self.size}>"

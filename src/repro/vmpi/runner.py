@@ -50,12 +50,14 @@ class MPIWorld:
         mapping_order: str = "XYZT",
         link: LinkCostModel | None = None,
         recv_overhead_s: float = 1e-6,
+        tracer=None,
     ):
         self.partition = partition
         self.mapping = RankMapping(partition, mapping_order)
         self.topology = TorusTopology(partition.shape, torus=partition.is_torus)  # type: ignore[arg-type]
         self.link = link or LinkCostModel()
         self.recv_overhead_s = recv_overhead_s
+        self.tracer = tracer  # optional repro.obs.Tracer, shared by every run
         self.last_network: DESNetwork | None = None
         self.last_board: MessageBoard | None = None
 
@@ -86,15 +88,19 @@ class MPIWorld:
         **kwargs: Any,
     ) -> WorldResult:
         """Run ``program`` SPMD on every rank (or the given subset)."""
-        engine = Engine()
+        engine = Engine(tracer=self.tracer)
         network = DESNetwork(
-            engine, self.topology, self.mapping, self.link, self.recv_overhead_s
+            engine, self.topology, self.mapping, self.link, self.recv_overhead_s,
+            tracer=self.tracer,
         )
         board = MessageBoard(network, self.nprocs)
         self.last_network = network
         self.last_board = board
         which = list(range(self.nprocs)) if ranks is None else list(ranks)
-        ctxs = [RankContext(r, self.nprocs, board, engine) for r in which]
+        ctxs = [
+            RankContext(r, self.nprocs, board, engine, tracer=self.tracer)
+            for r in which
+        ]
         procs = [
             engine.spawn(program(ctx, *args, **kwargs), name=f"rank{ctx.rank}")
             for ctx in ctxs

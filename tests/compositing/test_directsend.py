@@ -93,6 +93,42 @@ class TestDirectSendDetails:
         res = MPIWorld.for_cores(8).run(program)
         assert res[0] is not None  # completed without deadlock
 
+    def test_self_message_skips_piece_construction(self, scene):
+        # Regression: the piece used to be cropped *before* the
+        # dest == rank short-circuit, so every self-message paid for a
+        # crop that was immediately thrown away.
+        from repro.render.image import PartialImage
+
+        crops = []
+
+        class CountingPartial(PartialImage):
+            def crop(self, rect):
+                crops.append(rect)
+                return super().crop(rect)
+
+        _data, cam, _tf = scene
+        dec = BlockDecomposition(GRID, 8)
+        sched = schedule_from_geometry(dec, cam, 8)
+        self_msgs = sum(
+            1 for msg in sched.messages if sched.compositor_rank(msg.tile) == msg.src
+        )
+        assert self_msgs > 0  # the scene must actually exercise the path
+
+        def program(ctx):
+            p = make_partial(ctx.rank, dec, scene)
+            partial = CountingPartial(p.rect, p.rgba, p.depth, p.samples)
+            tile = yield from direct_send_compose(ctx, partial, sched)
+            return (yield from assemble_final_image(ctx, tile, sched, root=0))
+
+        res = MPIWorld.for_cores(8).run(program)
+        assert np.allclose(res[0], reference(scene, 8), atol=1e-5)
+        # direct_send_compose crops the sender's partial once per wire
+        # message plus once per compositor's own contribution — and
+        # never for the skipped self-message pieces.  (Downstream
+        # composite_over crops plain PartialImages; not counted.)
+        wire_msgs = len(sched.messages) - self_msgs
+        assert len(crops) == wire_msgs + self_msgs
+
     def test_serial_compose_matches_local_oracle(self, scene):
         _data, cam, _tf = scene
         dec = BlockDecomposition(GRID, 8)

@@ -95,6 +95,25 @@ class TestFramePlanCacheUnit:
         cache.plan_for(tfms[0], GRID, 4, 1.0, 1, "io", 2)
         assert cache.misses == 4
 
+    def test_eviction_is_lru_not_fifo(self):
+        # Regression: hits used to leave recency untouched, so the
+        # eviction order was insertion (FIFO) and an orbit campaign one
+        # camera larger than the cache thrashed every revolution.
+        cache = FramePlanCache(max_entries=2)
+        cams = [
+            Camera.looking_at_volume(GRID, width=16, height=16, azimuth_deg=float(a))
+            for a in (0.0, 30.0, 60.0)
+        ]
+        cache.plan_for(cams[0], GRID, 4, 1.0, 1, "io", 2)
+        cache.plan_for(cams[1], GRID, 4, 1.0, 1, "io", 2)
+        cache.plan_for(cams[0], GRID, 4, 1.0, 1, "io", 2)  # refresh cams[0]
+        cache.plan_for(cams[2], GRID, 4, 1.0, 1, "io", 2)  # evicts cams[1]
+        misses = cache.misses
+        cache.plan_for(cams[0], GRID, 4, 1.0, 1, "io", 2)  # must still hit
+        assert cache.misses == misses
+        cache.plan_for(cams[1], GRID, 4, 1.0, 1, "io", 2)  # was evicted
+        assert cache.misses == misses + 1
+
     @settings(max_examples=15, deadline=None)
     @given(
         st.integers(min_value=0, max_value=5_000),
@@ -135,3 +154,29 @@ class TestScheduleCache:
         assert c.total_messages == a.total_messages
         assert c.tiles.tiles() == a.tiles.tiles()
         assert c.messages == a.messages
+
+    def test_schedule_memo_evicts_lru_not_fifo(self):
+        # Same regression as FramePlanCache: a hit must refresh
+        # recency, or >max-entry orbits thrash every revolution.
+        import repro.compositing.schedule as sched
+
+        clear_schedule_cache()
+        old_max, sched._SCHEDULE_CACHE_MAX = sched._SCHEDULE_CACHE_MAX, 2
+        try:
+            dec = BlockDecomposition(GRID, 8)
+            cams = [
+                Camera.looking_at_volume(GRID, width=24, height=24, azimuth_deg=float(a))
+                for a in (0.0, 30.0, 60.0)
+            ]
+            schedule_from_geometry(dec, cams[0], 4)
+            schedule_from_geometry(dec, cams[1], 4)
+            schedule_from_geometry(dec, cams[0], 4)  # refresh cams[0]
+            schedule_from_geometry(dec, cams[2], 4)  # evicts cams[1]
+            misses = schedule_cache_info()["misses"]
+            schedule_from_geometry(dec, cams[0], 4)  # must still hit
+            assert schedule_cache_info()["misses"] == misses
+            schedule_from_geometry(dec, cams[1], 4)  # was evicted
+            assert schedule_cache_info()["misses"] == misses + 1
+        finally:
+            sched._SCHEDULE_CACHE_MAX = old_max
+            clear_schedule_cache()

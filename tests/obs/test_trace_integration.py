@@ -1,0 +1,131 @@
+"""Trace <-> pipeline reconciliation: the observability layer must
+report exactly what the frame did.
+
+Three identities are load-bearing:
+
+* per-stage max-across-ranks in the trace == ``FrameTiming`` (the
+  timing object is a *derived view* of the trace);
+* the tracer's message/byte counters == ``FrameResult.messages`` /
+  ``bytes_sent`` (one hook, one truth);
+* tracing on vs off changes no pixel (observability is read-only).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelVolumeRenderer
+from repro.data import SupernovaModel, write_vh1_netcdf
+from repro.obs import CAT_COLL, CAT_COMM, CAT_PROC, CAT_STAGE, Tracer, chrome_trace
+from repro.pio import IOHints, NetCDFHandle
+from repro.render import Camera, TransferFunction
+from repro.storage.accesslog import AccessLog
+from repro.vmpi import MPIWorld
+
+GRID = (16, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def handle():
+    model = SupernovaModel(GRID, seed=7)
+    return NetCDFHandle(write_vh1_netcdf(model), "vx"), model
+
+
+def make_renderer(model, tracer=None, nprocs=8):
+    cam = Camera.looking_at_volume(GRID, width=40, height=36)
+    tf = TransferFunction.supernova(*model.value_range("vx"))
+    return ParallelVolumeRenderer(
+        MPIWorld.for_cores(nprocs), cam, tf, step=0.8,
+        hints=IOHints(cb_buffer_size=4096, cb_nodes=2), tracer=tracer,
+    )
+
+
+class TestReconciliation:
+    def test_stage_maxima_equal_frame_timing(self, handle):
+        h, model = handle
+        tracer = Tracer()
+        res = make_renderer(model, tracer).render_frame(h)
+        maxima = tracer.stage_maxima()
+        assert maxima["io"] == res.timing.io_s
+        assert maxima["render"] == res.timing.render_s
+        assert maxima["composite"] == res.timing.composite_s
+        # Every rank contributed all three stages.
+        durations = tracer.stage_durations()
+        for stage in ("io", "render", "composite"):
+            assert sorted(durations[stage]) == list(range(8))
+
+    def test_counters_match_frame_result(self, handle):
+        h, model = handle
+        tracer = Tracer()
+        res = make_renderer(model, tracer).render_frame(h)
+        assert tracer.counter("messages") == res.messages
+        assert tracer.counter("bytes") == res.bytes_sent
+        # Comm spans are per-message: one span each.
+        assert len(tracer.frame_spans(cat=CAT_COMM)) == res.messages
+        sum_bytes = sum(s.args["nbytes"] for s in tracer.frame_spans(cat=CAT_COMM))
+        assert sum_bytes == res.bytes_sent
+
+    def test_trace_attached_to_result_only_when_enabled(self, handle):
+        h, model = handle
+        tracer = Tracer()
+        res_on = make_renderer(model, tracer).render_frame(h)
+        res_off = make_renderer(model).render_frame(h)
+        assert res_on.trace is tracer
+        assert res_off.trace is None
+
+    def test_collective_proc_and_io_spans_present(self, handle):
+        h, model = handle
+        tracer = Tracer()
+        log = AccessLog()
+        make_renderer(model, tracer).render_frame(h, log=log)
+        colls = {s.name for s in tracer.frame_spans(cat=CAT_COLL)}
+        assert "barrier" in colls and "gather" in colls
+        procs = tracer.frame_spans(cat=CAT_PROC)
+        assert len(procs) == 8 and all(s.args["steps"] > 0 for s in procs)
+        io_spans = tracer.frame_spans(cat="io")
+        assert len(io_spans) == len(log.accesses)
+        # Bridged spans sit inside the frame's I/O window.
+        io_end = tracer.stage_maxima()["io"]
+        assert all(0.0 <= s.t0 and s.t1 <= io_end + 1e-9 for s in io_spans)
+
+    def test_multi_frame_tracer_keeps_frames_apart(self, handle):
+        h, model = handle
+        tracer = Tracer()
+        r = make_renderer(model, tracer)
+        t0 = r.render_frame(h).timing
+        t1 = r.render_frame(h).timing
+        assert tracer.frame == 1
+        assert tracer.stage_maxima(frame=0)["io"] == t0.io_s
+        assert tracer.stage_maxima(frame=1)["io"] == t1.io_s
+
+    def test_chrome_export_of_real_frame_is_valid(self, handle, tmp_path):
+        h, model = handle
+        tracer = Tracer()
+        make_renderer(model, tracer).render_frame(h)
+        doc = json.loads(json.dumps(chrome_trace(tracer)))
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(tracer.spans)
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in xs)
+        assert {e["name"] for e in xs} >= {"io", "render", "composite"}
+
+
+class TestTracingIsReadOnly:
+    @pytest.mark.parametrize("nprocs", (4, 8))
+    def test_traced_frame_is_bitwise_identical(self, handle, nprocs):
+        h, model = handle
+        res_off = make_renderer(model, nprocs=nprocs).render_frame(h)
+        res_on = make_renderer(model, Tracer(), nprocs=nprocs).render_frame(h)
+        assert np.array_equal(res_off.image, res_on.image)
+        assert res_off.timing == res_on.timing
+        assert res_off.messages == res_on.messages
+        assert res_off.bytes_sent == res_on.bytes_sent
+
+    def test_disabled_tracer_leaves_only_stage_spans(self, handle):
+        h, model = handle
+        tracer = Tracer(enabled=False)
+        make_renderer(model, tracer).render_frame(h)
+        # A disabled tracer rides through the whole stack but records
+        # only the stage spans FrameTiming derives from.
+        assert all(s.cat == CAT_STAGE for s in tracer.spans)
+        assert tracer.counters == {}

@@ -65,6 +65,26 @@ class TestScheduling:
         eng.run()
         assert fired == [1, 10]
 
+    def test_step_runs_single_events_in_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(2.0, lambda: fired.append(2))
+        assert eng.step() and fired == [1] and eng.now == 1.0
+        assert eng.step() and fired == [1, 2] and eng.now == 2.0
+        assert not eng.step()
+
+    def test_step_rejects_time_running_backwards(self):
+        # Regression: step() lacked run()'s monotonicity guard, so a
+        # clock that somehow drifted ahead of the queue would silently
+        # rewind instead of failing loudly.
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.now = 5.0  # simulate external clock drift / corruption
+        with pytest.raises(SimulationError):
+            eng.step()
+        assert eng.now == 5.0  # the guard fired before rewinding
+
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
     def test_events_never_run_out_of_order(self, delays):
         eng = Engine()

@@ -28,6 +28,25 @@ class TestCLI:
         assert rc == 0
         assert out.exists()
 
+    def test_trace_writes_chrome_json_and_report(self, tmp_path, capsys):
+        import json
+
+        trace_out = tmp_path / "trace.json"
+        report_out = tmp_path / "trace.txt"
+        rc = main([
+            "trace", "--grid", "12", "--cores", "4", "--image", "24",
+            "--trace-out", str(trace_out), "--report-out", str(report_out),
+        ])
+        assert rc == 0
+        doc = json.loads(trace_out.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "render" for e in events)
+        assert any(e["ph"] == "M" for e in events)
+        report = report_out.read_text()
+        assert "io" in report and "composite" in report and "% frame" in report
+        text = capsys.readouterr().out
+        assert "spans" in text and "per-stage breakdown" in text
+
     def test_model_prints_breakdown(self, capsys):
         rc = main(["model", "--dataset", "1120", "--cores", "16384"])
         assert rc == 0
