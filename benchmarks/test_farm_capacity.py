@@ -1,0 +1,99 @@
+"""Service capacity study: the rendering farm beyond the paper.
+
+The paper times one job at a time.  This bench asks the facility
+question: with 6 concurrent sessions browsing/orbiting the supernova
+datasets on a 2048-node slice, what do latency, utilization, and
+backfill look like — and what does the rendered-frame cache buy?
+
+Three arms of the same 240-request scenario:
+
+  cache+backfill   the full service
+  nocache+backfill EASY backfill but every frame rendered
+  nocache+fcfs     strict FCFS, every frame rendered
+
+The headline claim (pinned below): browsing workloads revisit frames,
+and for those repeat requests the result cache cuts p50 latency by at
+least 5x — in practice to zero, because a warm hit never queues and
+never boots a partition.
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis.reports import format_table
+from repro.farm import default_scenario
+
+
+def _repeat_p50(result):
+    """p50 latency over requests whose frame was already requested."""
+    seen = set()
+    repeats = []
+    for rec in sorted(result.records, key=lambda r: r.t_arrive):
+        key = rec.request.frame_key
+        if key in seen:
+            repeats.append(rec.latency_s)
+        seen.add(key)
+    repeats.sort()
+    return repeats[len(repeats) // 2] if repeats else 0.0
+
+
+def test_farm_capacity(benchmark, results_dir):
+    arms = {
+        "cache+backfill": default_scenario(),
+        "nocache+backfill": default_scenario(result_cache_entries=0),
+        "nocache+fcfs": default_scenario(result_cache_entries=0, backfill=False),
+    }
+    results = {}
+    for name, scenario in list(arms.items())[1:]:
+        results[name] = scenario.run()
+    # Time the full-service arm as the bench's central computation.
+    results["cache+backfill"] = benchmark.pedantic(
+        arms["cache+backfill"].run, rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, r in results.items():
+        rows.append([
+            name,
+            r.p50_s,
+            r.p95_s,
+            _repeat_p50(r),
+            f"{r.utilization:.1%}",
+            f"{r.cache_hit_rate:.1%}",
+            r.backfilled,
+            r.makespan_s,
+        ])
+    table = format_table(
+        ["arm", "p50 (s)", "p95 (s)", "repeat p50 (s)", "util",
+         "hit rate", "backfilled", "makespan (s)"],
+        rows,
+    )
+    write_result(
+        results_dir,
+        "farm_capacity",
+        "Rendering-service capacity study (repro.farm, beyond the paper):\n"
+        "240 requests / 6 sessions on a 2048-node slice, model backend.\n\n"
+        + table,
+    )
+
+    cached = results["cache+backfill"]
+    uncached = results["nocache+backfill"]
+    fcfs = results["nocache+fcfs"]
+
+    # The headline: repeat requests get >= 5x better p50 from the
+    # result cache (warm hits take zero simulated service time).
+    assert _repeat_p50(cached) <= _repeat_p50(uncached) / 5.0
+    assert cached.cache_hit_rate > 0.5
+    assert uncached.cache_hit_rate == 0.0
+
+    # Rendering every frame keeps the machine busier and gives the
+    # scheduler real holes to backfill.
+    assert uncached.utilization > cached.utilization
+    assert uncached.backfilled > 0
+
+    # EASY backfill cannot hurt and should help this mix.
+    assert uncached.makespan_s <= fcfs.makespan_s
+    assert uncached.p50_s <= fcfs.p50_s
+
+    # Accounting stays exact in every arm.
+    for r in results.values():
+        assert len(r.records) == 240
+        assert 0.0 < r.utilization <= 1.0

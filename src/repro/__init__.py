@@ -23,6 +23,7 @@ __all__ = ["__version__"]
 # Convenience re-exports of the most-used entry points.
 from repro.core import FrameTiming, ParallelVolumeRenderer, render_time_series  # noqa: E402
 from repro.data import SupernovaModel, write_vh1_netcdf  # noqa: E402
+from repro.farm import FarmResult, FarmScenario, RenderFarm, default_scenario  # noqa: E402
 from repro.model import DATASETS, FrameModel  # noqa: E402
 from repro.obs import Tracer, stage_report, write_chrome_trace  # noqa: E402
 from repro.pio import IOHints, NetCDFHandle, RawHandle  # noqa: E402
@@ -43,6 +44,10 @@ __all__ += [  # noqa: PLE0604
     "Camera",
     "TransferFunction",
     "MPIWorld",
+    "FarmResult",
+    "FarmScenario",
+    "RenderFarm",
+    "default_scenario",
     "Tracer",
     "stage_report",
     "write_chrome_trace",

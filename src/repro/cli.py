@@ -13,6 +13,9 @@ The commands cover the tour a new user takes:
 * ``bench``     — run the perf microbenchmarks against the committed
   ``BENCH_*.json`` baselines and fail on regression (``--update``
   regenerates the baselines).
+* ``farm``      — run a multi-tenant rendering-service traffic scenario
+  (request queue, partition scheduler, frame caches) and report latency
+  percentiles, SLO attainment, utilization, and cache hit rates.
 """
 
 from __future__ import annotations
@@ -92,6 +95,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--update", action="store_true",
         help="regenerate the committed BENCH_*.json baselines",
+    )
+
+    p_farm = sub.add_parser(
+        "farm", help="run a rendering-service traffic scenario"
+    )
+    p_farm.add_argument(
+        "--scenario", default=None,
+        help="JSON scenario spec (default: the built-in capacity scenario)",
+    )
+    p_farm.add_argument(
+        "--selftest", action="store_true",
+        help="run the fast functional miniature and check service invariants",
+    )
+    p_farm.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable JSON summary instead of the report",
+    )
+    p_farm.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    p_farm.add_argument(
+        "--no-result-cache", action="store_true",
+        help="disable the rendered-frame result cache (the study's off arm)",
+    )
+    p_farm.add_argument(
+        "--no-backfill", action="store_true",
+        help="schedule strict FCFS without backfill",
+    )
+    p_farm.add_argument(
+        "--trace-out", default=None,
+        help="also write the request spans as a Chrome trace_event JSON",
     )
     return parser
 
@@ -249,6 +283,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return module.main(argv)
 
 
+def cmd_farm(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.farm import FarmScenario, default_scenario, run_selftest
+
+    if args.selftest:
+        result, failures = run_selftest()
+        for failure in failures:
+            print(f"selftest FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return 2
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(result.trace, args.trace_out)
+        print(result.report())
+        print(f"\nfarm selftest ok: {len(result.records)} requests, "
+              f"all service invariants hold")
+        return 0
+
+    if args.scenario:
+        scenario = FarmScenario.from_file(args.scenario)
+    else:
+        scenario = default_scenario()
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.no_result_cache:
+        overrides["result_cache_entries"] = 0
+    if args.no_backfill:
+        overrides["backfill"] = False
+    if overrides:
+        scenario = dataclasses.replace(scenario, **overrides)
+    result = scenario.run()
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(result.trace, args.trace_out)
+    if args.json:
+        json.dump(result.summary(), sys.stdout, indent=1)
+        print()
+    else:
+        print(result.report())
+        if args.trace_out:
+            print(f"\ntrace: {args.trace_out} "
+                  f"(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -258,6 +342,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scorecard": cmd_scorecard,
         "inventory": cmd_inventory,
         "bench": cmd_bench,
+        "farm": cmd_farm,
     }
     try:
         return handlers[args.command](args)

@@ -61,17 +61,23 @@ def render_time_series(
         raise ConfigError("no time steps to render")
     base = renderer.camera
     frames = []
-    for i, handle in enumerate(handles):
-        if camera_factory is not None:
-            renderer.camera = camera_factory(i)
-        elif orbit_degrees_per_frame:
-            grid = tuple(int(s) for s in handle.shape)
-            renderer.camera = Camera.looking_at_volume(
-                grid,  # type: ignore[arg-type]
-                width=base.width,
-                height=base.height,
-                azimuth_deg=30.0 + i * orbit_degrees_per_frame,
-            )
-        frames.append(renderer.render_frame(handle))
-    renderer.camera = base
+    # The camera is restored in a finally so an exception mid-campaign
+    # cannot leave the shared renderer pointed at an orbit frame —
+    # farm-level renderer reuse depends on the camera being stable
+    # across campaigns.
+    try:
+        for i, handle in enumerate(handles):
+            if camera_factory is not None:
+                renderer.camera = camera_factory(i)
+            elif orbit_degrees_per_frame:
+                grid = tuple(int(s) for s in handle.shape)
+                renderer.camera = Camera.looking_at_volume(
+                    grid,  # type: ignore[arg-type]
+                    width=base.width,
+                    height=base.height,
+                    azimuth_deg=30.0 + i * orbit_degrees_per_frame,
+                )
+            frames.append(renderer.render_frame(handle))
+    finally:
+        renderer.camera = base
     return TimeSeriesResult(frames)

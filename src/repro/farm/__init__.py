@@ -1,0 +1,56 @@
+"""repro.farm — a rendering *service* on the simulated machine.
+
+The paper's pipeline renders one frame for one user on one fixed
+partition.  This package is the layer above it: a multi-tenant request
+queue (:mod:`~repro.farm.workload`), a partition scheduler with FCFS +
+EASY backfill over aligned standard-size allocations
+(:mod:`~repro.farm.allocator`, :mod:`~repro.farm.service`), a
+service-wide cache tier (:mod:`~repro.farm.cache` plus the shared
+plan tier in :mod:`~repro.farm.backends`), and SLO accounting
+(:mod:`~repro.farm.result`) — all sharing one simulated clock on
+:class:`repro.sim.Engine`.
+
+Typical use::
+
+    from repro.farm import default_scenario
+
+    result = default_scenario().run()
+    print(result.report())          # p50/p95/p99, SLO, utilization...
+    result.summary()                # the same as JSON
+
+or from the shell: ``python -m repro farm [--scenario spec.json]``.
+"""
+
+from repro.farm.allocator import NodeAllocator, SizePolicy, standard_size_for
+from repro.farm.backends import ExecuteBackend, ModelBackend, backend_for
+from repro.farm.cache import FrameResultCache
+from repro.farm.request import FrameRequest, RequestRecord
+from repro.farm.result import FarmResult
+from repro.farm.scenario import (
+    FarmScenario,
+    default_scenario,
+    run_selftest,
+    selftest_scenario,
+)
+from repro.farm.service import RenderFarm
+from repro.farm.workload import SessionSpec, Workload
+
+__all__ = [
+    "NodeAllocator",
+    "SizePolicy",
+    "standard_size_for",
+    "ModelBackend",
+    "ExecuteBackend",
+    "backend_for",
+    "FrameResultCache",
+    "FrameRequest",
+    "RequestRecord",
+    "FarmResult",
+    "FarmScenario",
+    "default_scenario",
+    "selftest_scenario",
+    "run_selftest",
+    "RenderFarm",
+    "SessionSpec",
+    "Workload",
+]

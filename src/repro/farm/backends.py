@@ -1,0 +1,201 @@
+"""How the farm turns an admitted request into a service time.
+
+Two backends, the same two modes every experiment in this repository
+runs in (DESIGN.md §2):
+
+* :class:`ModelBackend` — **performance mode**.  Requests are priced by
+  the calibrated analytic :class:`repro.model.FrameModel` at paper
+  scale (1120³–4480³ data on thousands of cores).  The plan tier here
+  is a memo of priced estimates keyed on ``(dataset, cores, io_mode)``:
+  the analytic model's stage costs are camera-orbit invariant (sample
+  counts and schedules shift between ranks, not in total), so every
+  session at the same partition size shares one priced plan.
+
+* :class:`ExecuteBackend` — **functional mode**.  Requests actually
+  render through :class:`repro.core.ParallelVolumeRenderer` at small
+  dims: real bytes, real pixels, and a *shared* renderer whose
+  :class:`repro.core.FramePlanCache` becomes the service-wide plan
+  tier — the second session looking at the same camera/step reuses all
+  frame geometry.  The returned service time is the frame's own
+  simulated :class:`FrameTiming` total, so farm latencies and frame
+  pipelines share one clock semantics.
+
+Both backends memoize per :attr:`frame_key
+<repro.farm.request.FrameRequest.frame_key>` (plus partition size), so
+duplicate in-flight requests are priced/rendered once; the memo also
+keeps backfill exact, because a job's service time is known the moment
+it is admitted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.farm.request import FrameRequest
+
+
+class ServiceBackend(Protocol):  # pragma: no cover - typing aid
+    """What the dispatcher needs: a deterministic (seconds, payload)."""
+
+    name: str
+
+    def render(self, request: FrameRequest, cores: int) -> tuple[float, Any]: ...
+
+    @property
+    def plan_hits(self) -> int: ...
+
+    @property
+    def plan_misses(self) -> int: ...
+
+
+class ModelBackend:
+    """Price requests with the analytic frame model (paper scale)."""
+
+    name = "model"
+
+    def __init__(self, constants=None):
+        from repro.model.constants import DEFAULT_CONSTANTS
+
+        self._constants = constants or DEFAULT_CONSTANTS
+        self._models: dict[str, Any] = {}
+        self._estimates: dict[tuple, Any] = {}
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    def render(self, request: FrameRequest, cores: int) -> tuple[float, Any]:
+        from repro.model.pipeline import DATASETS, FrameModel
+        from repro.utils.errors import ConfigError
+
+        if request.dataset not in DATASETS:
+            raise ConfigError(
+                f"model backend knows datasets {sorted(DATASETS)}, "
+                f"got {request.dataset!r}"
+            )
+        key = (request.dataset, int(cores), request.io_mode)
+        est = self._estimates.get(key)
+        if est is not None:
+            self.plan_hits += 1
+        else:
+            self.plan_misses += 1
+            model = self._models.get(request.dataset)
+            if model is None:
+                model = self._models[request.dataset] = FrameModel(
+                    DATASETS[request.dataset], self._constants
+                )
+            est = model.estimate(cores, io_mode=request.io_mode)
+            self._estimates[key] = est
+        return est.total_s, est
+
+
+class ExecuteBackend:
+    """Render requests for real at small dims through ``repro.core``.
+
+    One renderer (and hence one :class:`FramePlanCache`) serves every
+    session; per-step synthetic supernova time steps are generated
+    lazily and memoized.  ``cores`` requested by clients is honored in
+    spirit — the functional world runs at ``world_cores`` ranks, the
+    scale the pixel-exact oracles cover — so this backend validates
+    *service semantics* (caching, queueing, span accounting) rather
+    than paper-scale timing magnitudes.
+    """
+
+    name = "execute"
+
+    def __init__(
+        self,
+        grid: int = 12,
+        world_cores: int = 4,
+        image: int = 24,
+        step: float = 0.8,
+        seed: int = 1530,
+    ):
+        self.grid = (int(grid),) * 3
+        self.world_cores = int(world_cores)
+        self.image = int(image)
+        self.step = float(step)
+        self.seed = int(seed)
+        self._renderer = None
+        self._handles: dict[tuple, Any] = {}
+        self._transfers: dict[tuple, Any] = {}
+        self._frames: dict[tuple, tuple[float, Any]] = {}
+
+    # -- lazy functional stack ----------------------------------------
+
+    def _handle(self, request: FrameRequest):
+        from repro.data import SupernovaModel, extract_variable_raw
+        from repro.pio import RawHandle
+
+        key = (request.dataset, request.step, request.variable)
+        if key not in self._handles:
+            model = SupernovaModel(
+                self.grid,
+                seed=self.seed,
+                time=0.2 + 0.04 * request.step,
+            )
+            self._handles[key] = (
+                RawHandle(extract_variable_raw(model, request.variable)),
+                model.value_range(request.variable),
+            )
+        return self._handles[key]
+
+    def _transfer(self, request: FrameRequest, value_range: tuple[float, float]):
+        from repro.render import TransferFunction
+
+        key = (request.dataset, request.step, request.variable)
+        if key not in self._transfers:
+            self._transfers[key] = TransferFunction.supernova(*value_range)
+        return self._transfers[key]
+
+    def _get_renderer(self, camera, transfer):
+        from repro.core import ParallelVolumeRenderer
+        from repro.vmpi import MPIWorld
+
+        if self._renderer is None:
+            self._renderer = ParallelVolumeRenderer(
+                MPIWorld.for_cores(self.world_cores), camera, transfer, step=self.step
+            )
+        self._renderer.camera = camera
+        self._renderer.transfer = transfer
+        return self._renderer
+
+    # -- ServiceBackend -----------------------------------------------
+
+    def render(self, request: FrameRequest, cores: int) -> tuple[float, Any]:
+        from repro.render import Camera
+
+        key = request.frame_key
+        memo = self._frames.get(key)
+        if memo is not None:
+            return memo
+        handle, value_range = self._handle(request)
+        camera = Camera.looking_at_volume(
+            self.grid,
+            width=self.image,
+            height=self.image,
+            azimuth_deg=request.azimuth_deg,
+            elevation_deg=request.elevation_deg,
+        )
+        renderer = self._get_renderer(camera, self._transfer(request, value_range))
+        result = renderer.render_frame(handle)
+        memo = (result.timing.total_s, result.image)
+        self._frames[key] = memo
+        return memo
+
+    @property
+    def plan_hits(self) -> int:
+        return self._renderer.plan_cache.hits if self._renderer is not None else 0
+
+    @property
+    def plan_misses(self) -> int:
+        return self._renderer.plan_cache.misses if self._renderer is not None else 0
+
+
+def backend_for(mode: str, **kwargs: Any) -> ServiceBackend:
+    """Factory used by scenarios: ``model`` or ``execute``."""
+    from repro.utils.errors import ConfigError
+
+    if mode == "model":
+        return ModelBackend(**kwargs)
+    if mode == "execute":
+        return ExecuteBackend(**kwargs)
+    raise ConfigError(f"unknown farm backend {mode!r}; choose 'model' or 'execute'")

@@ -1,0 +1,86 @@
+"""The service-wide cache tier.
+
+Two layers, mirroring what the per-renderer code already taught us:
+
+* **Plan tier** — geometry reuse.  Execution backends share one
+  :class:`repro.core.FramePlanCache` (or its analytic analog, a priced
+  :class:`FrameEstimate` memo) across *all* sessions, so the second
+  tenant watching the same dataset at the same partition size pays no
+  planning cost.  That tier lives in :mod:`repro.farm.backends`.
+
+* **Result tier** — :class:`FrameResultCache` here: a bounded LRU of
+  finished frames keyed on :attr:`FrameRequest.frame_key
+  <repro.farm.request.FrameRequest.frame_key>` ``(dataset, step,
+  camera, transfer)``.  A hit means the frame already exists somewhere
+  in the service, so the request completes in **zero simulated service
+  time** and never allocates a partition.  Correctness rests on the
+  key: everything that can change a pixel is in it, and nothing that
+  cannot (the partition size a frame happened to be rendered on is an
+  execution detail, not an image property).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class FrameResultCache:
+    """Bounded LRU of rendered frames keyed on ``frame_key``.
+
+    The same move-to-back-on-hit discipline as
+    :class:`repro.core.FramePlanCache`; ``max_entries <= 0`` disables
+    the cache entirely (every lookup misses), which is how the
+    capacity study runs its cache-off arm.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = int(max_entries)
+        self._entries: dict[tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, key: tuple) -> Any | None:
+        """The cached frame for ``key``, refreshing recency; else None."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries[key] = entry  # re-insert: LRU, not FIFO
+        self.hits += 1
+        return entry
+
+    def contains(self, key: tuple) -> bool:
+        """Membership test that does *not* count as a lookup."""
+        return self.enabled and key in self._entries
+
+    def store(self, key: tuple, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._entries.pop(key, None)
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FrameResultCache {len(self._entries)}/{self.max_entries} "
+            f"entries, {self.hits} hits / {self.misses} misses>"
+        )

@@ -1,0 +1,99 @@
+"""Requests and per-request accounting records for the rendering service.
+
+A :class:`FrameRequest` is what a client session asks the farm for: one
+frame of one dataset at one time step, seen through one camera and
+transfer function, to be rendered on a requested number of cores.  The
+``frame_key`` identifies the *image* (dataset, step, camera, transfer)
+independently of how it is executed — two requests with equal keys
+produce bitwise the same frame, which is exactly what the service-wide
+result cache is allowed to exploit.
+
+A :class:`RequestRecord` is the service's ledger entry for one request:
+arrival, allocation, service, and completion timestamps on the shared
+simulated clock, from which queueing delay, service time, end-to-end
+latency, and SLO attainment all derive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FrameRequest:
+    """One client's ask: render this frame on that many cores."""
+
+    session: str
+    seq: int  # per-session sequence number
+    dataset: str
+    step: int
+    azimuth_deg: float
+    elevation_deg: float
+    variable: str = "pressure"
+    cores: int = 4096
+    io_mode: str = "raw"
+
+    @property
+    def rid(self) -> str:
+        """Service-wide request id, e.g. ``browse0/17``."""
+        return f"{self.session}/{self.seq}"
+
+    @property
+    def frame_key(self) -> tuple:
+        """Identity of the rendered image (dataset, step, camera, transfer).
+
+        Camera angles are rounded so floating-point noise in workload
+        generators cannot split logically identical frames across cache
+        entries.
+        """
+        return (
+            self.dataset,
+            int(self.step),
+            round(float(self.azimuth_deg) % 360.0, 6),
+            round(float(self.elevation_deg), 6),
+            self.variable,
+        )
+
+
+@dataclass
+class RequestRecord:
+    """The ledger entry for one request, filled in as it moves through.
+
+    Timestamps are simulated seconds on the farm engine's clock.  For a
+    result-cache hit the request never holds a partition: ``t_hold`` and
+    ``t_serve`` collapse onto the completion time and every stage
+    duration is zero.
+    """
+
+    request: FrameRequest
+    t_arrive: float
+    t_hold: float = 0.0  # allocation granted; partition boot begins
+    t_serve: float = 0.0  # rendering starts (boot finished)
+    t_done: float = 0.0  # frame delivered
+    nodes: int = 0  # partition size actually allocated (0 for cache hits)
+    interval: tuple[int, int] | None = None  # allocated node range [lo, hi)
+    cache_hit: bool = False
+    reserved_start: float | None = field(default=None, repr=False)
+    # ^ EASY-backfill reservation recorded the first time this request
+    #   blocked at the head of the queue; the scheduler invariant is
+    #   t_hold <= reserved_start (backfill never delays the head job).
+
+    @property
+    def queue_s(self) -> float:
+        return self.t_hold - self.t_arrive
+
+    @property
+    def alloc_s(self) -> float:
+        return self.t_serve - self.t_hold
+
+    @property
+    def serve_s(self) -> float:
+        return self.t_done - self.t_serve
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end: arrival to delivered frame."""
+        return self.t_done - self.t_arrive
+
+    def meets(self, slo_s: float) -> bool:
+        return self.latency_s <= slo_s

@@ -1,0 +1,188 @@
+"""`FarmResult`: what one service scenario measured.
+
+The service-level analog of :class:`repro.core.FrameResult`: per-request
+ledger records plus the derived fleet metrics — latency percentiles
+(p50/p95/p99), SLO attainment (overall and per session, honoring
+per-session SLO overrides), machine utilization, throughput, and the
+two cache tiers' hit statistics.  ``summary()`` is the JSON the CLI
+emits; ``report()`` is the human table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.farm.request import RequestRecord
+from repro.farm.workload import SessionSpec
+from repro.obs.tracer import Tracer
+from repro.utils.units import fmt_time
+
+
+@dataclass
+class FarmResult:
+    """All requests of one scenario plus service-wide accounting."""
+
+    records: list[RequestRecord]
+    sessions: tuple[SessionSpec, ...]
+    slo_s: float
+    makespan_s: float
+    total_nodes: int
+    util_node_seconds: float
+    result_cache_hits: int
+    result_cache_misses: int
+    plan_hits: int
+    plan_misses: int
+    backfilled: int
+    backend: str
+    trace: Tracer | None = None
+
+    # -- latency ------------------------------------------------------
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.records], dtype=np.float64)
+
+    def latency_percentile(self, pct: float) -> float:
+        lat = self.latencies()
+        return float(np.percentile(lat, pct)) if lat.size else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_s(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_s(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_queue_s(self) -> float:
+        return float(np.mean([r.queue_s for r in self.records])) if self.records else 0.0
+
+    # -- SLO ----------------------------------------------------------
+
+    def slo_for(self, session: str) -> float:
+        for spec in self.sessions:
+            if spec.name == session:
+                return self.slo_s if spec.slo_s is None else spec.slo_s
+        return self.slo_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests delivered within their session's SLO."""
+        if not self.records:
+            return 1.0
+        met = sum(r.meets(self.slo_for(r.request.session)) for r in self.records)
+        return met / len(self.records)
+
+    # -- machine & caches ---------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Allocated node-seconds over the machine's whole-run capacity."""
+        denom = self.total_nodes * self.makespan_s
+        return self.util_node_seconds / denom if denom else 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests answered from the result cache (request-level)."""
+        return sum(r.cache_hit for r in self.records)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / len(self.records) if self.records else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return len(self.records) / self.makespan_s if self.makespan_s else 0.0
+
+    # -- views --------------------------------------------------------
+
+    def session_records(self, session: str) -> list[RequestRecord]:
+        return [r for r in self.records if r.request.session == session]
+
+    def summary(self) -> dict:
+        """JSON-able scenario summary (what ``repro farm --json`` prints)."""
+        lat = self.latencies()
+        per_session = {}
+        for spec in self.sessions:
+            recs = self.session_records(spec.name)
+            slo = self.slo_for(spec.name)
+            ses_lat = np.array([r.latency_s for r in recs]) if recs else np.zeros(0)
+            per_session[spec.name] = {
+                "kind": spec.kind,
+                "arrival": spec.arrival,
+                "requests": len(recs),
+                "p50_s": float(np.percentile(ses_lat, 50)) if ses_lat.size else 0.0,
+                "p95_s": float(np.percentile(ses_lat, 95)) if ses_lat.size else 0.0,
+                "slo_s": slo,
+                "slo_attainment": (
+                    sum(r.meets(slo) for r in recs) / len(recs) if recs else 1.0
+                ),
+                "cache_hits": sum(r.cache_hit for r in recs),
+            }
+        return {
+            "backend": self.backend,
+            "requests": len(self.records),
+            "sessions": len(self.sessions),
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_s": {
+                "p50": self.p50_s,
+                "p95": self.p95_s,
+                "p99": self.p99_s,
+                "mean": float(np.mean(lat)) if lat.size else 0.0,
+                "max": float(np.max(lat)) if lat.size else 0.0,
+            },
+            "mean_queue_s": self.mean_queue_s,
+            "slo": {"target_s": self.slo_s, "attainment": self.slo_attainment},
+            "machine": {
+                "total_nodes": self.total_nodes,
+                "utilization": self.utilization,
+                "backfilled": self.backfilled,
+            },
+            "cache": {
+                "result_hits": self.cache_hits,
+                "result_hit_rate": self.cache_hit_rate,
+                "result_lookup_hits": self.result_cache_hits,
+                "result_lookup_misses": self.result_cache_misses,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+            },
+            "per_session": per_session,
+        }
+
+    def report(self) -> str:
+        """Human-readable scenario report (what ``repro farm`` prints)."""
+        lines = [
+            f"farm scenario: {len(self.records)} requests from "
+            f"{len(self.sessions)} sessions ({self.backend} backend), "
+            f"{self.total_nodes}-node machine",
+            f"  makespan     {fmt_time(self.makespan_s):>10}   "
+            f"throughput {self.throughput_rps:.3f} req/s",
+            f"  latency      p50 {fmt_time(self.p50_s)}, p95 {fmt_time(self.p95_s)}, "
+            f"p99 {fmt_time(self.p99_s)} (mean queue {fmt_time(self.mean_queue_s)})",
+            f"  SLO          {100.0 * self.slo_attainment:.1f}% within "
+            f"{fmt_time(self.slo_s)}",
+            f"  utilization  {100.0 * self.utilization:.1f}% of node-seconds, "
+            f"{self.backfilled} jobs backfilled",
+            f"  caches       result {self.cache_hits}/{len(self.records)} hits "
+            f"({100.0 * self.cache_hit_rate:.1f}%), plan {self.plan_hits} hits / "
+            f"{self.plan_misses} misses",
+            "",
+            f"  {'session':<12} {'kind':<9} {'req':>5} {'p50':>10} {'p95':>10} "
+            f"{'SLO%':>7} {'hits':>5}",
+        ]
+        per_session = self.summary()["per_session"]
+        for spec in self.sessions:
+            s = per_session[spec.name]
+            lines.append(
+                f"  {spec.name:<12} {spec.kind:<9} {s['requests']:>5} "
+                f"{fmt_time(s['p50_s']):>10} {fmt_time(s['p95_s']):>10} "
+                f"{100.0 * s['slo_attainment']:>6.1f}% {s['cache_hits']:>5}"
+            )
+        return "\n".join(lines)

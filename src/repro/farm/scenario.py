@@ -1,0 +1,247 @@
+"""Traffic scenarios: the JSON spec behind ``python -m repro farm``.
+
+A scenario is everything a farm run needs — the machine slice, the
+scheduling and cache knobs, the backend mode, and the session mix —
+in one declarative record::
+
+    {
+      "seed": 7,
+      "mode": "model",
+      "total_nodes": 40960,
+      "slo_s": 120.0,
+      "alloc_overhead_s": 2.0,
+      "result_cache_entries": 256,
+      "backfill": true,
+      "size_policy": {"min_nodes": 256, "max_nodes": 8192},
+      "sessions": [
+        {"name": "browse0", "kind": "browse", "arrival": "open",
+         "requests": 40, "rate_hz": 0.03, "cores": 16384, "steps": 12},
+        {"name": "orbit0", "kind": "orbit", "arrival": "closed",
+         "requests": 30, "think_s": 5.0, "cores": 8192}
+      ]
+    }
+
+Unknown keys are rejected (a typoed knob should fail loudly, not
+silently run the default).  :func:`default_scenario` is the committed
+capacity-study traffic (≥200 requests, ≥4 sessions); ``--selftest``
+uses :func:`selftest_scenario`, a seconds-fast miniature.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+from repro.farm.allocator import SizePolicy
+from repro.farm.backends import backend_for
+from repro.farm.result import FarmResult
+from repro.farm.service import RenderFarm
+from repro.farm.workload import SessionSpec, Workload
+from repro.machine.specs import BGP_ALCF
+from repro.obs.tracer import Tracer
+from repro.utils.errors import ConfigError
+
+_SESSION_FIELDS = {f.name for f in dataclasses.fields(SessionSpec)}
+_POLICY_FIELDS = {f.name for f in dataclasses.fields(SizePolicy)}
+
+
+@dataclass(frozen=True)
+class FarmScenario:
+    """One runnable traffic scenario (validated, JSON round-trippable)."""
+
+    sessions: tuple[SessionSpec, ...]
+    seed: int = 1530
+    mode: str = "model"  # 'model' (paper scale) or 'execute' (functional)
+    total_nodes: int = BGP_ALCF.total_nodes
+    slo_s: float = 120.0
+    alloc_overhead_s: float = 0.0
+    result_cache_entries: int = 256
+    backfill: bool = True
+    size_policy: SizePolicy = field(default_factory=SizePolicy)
+    backend_options: dict = field(default_factory=dict)
+
+    def workload(self) -> Workload:
+        return Workload(sessions=self.sessions, seed=self.seed)
+
+    def build(self, tracer: Tracer | None = None) -> RenderFarm:
+        return RenderFarm(
+            self.workload(),
+            backend_for(self.mode, **self.backend_options),
+            total_nodes=self.total_nodes,
+            size_policy=self.size_policy,
+            result_cache_entries=self.result_cache_entries,
+            backfill=self.backfill,
+            alloc_overhead_s=self.alloc_overhead_s,
+            slo_s=self.slo_s,
+            tracer=tracer,
+        )
+
+    def run(self, tracer: Tracer | None = None) -> FarmResult:
+        return self.build(tracer).run()
+
+    # -- JSON ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "FarmScenario":
+        if not isinstance(spec, dict):
+            raise ConfigError(f"scenario must be a JSON object, got {type(spec).__name__}")
+        spec = dict(spec)
+        raw_sessions = spec.pop("sessions", None)
+        if not raw_sessions:
+            raise ConfigError("scenario needs a non-empty 'sessions' list")
+        sessions = tuple(_session_from_dict(i, s) for i, s in enumerate(raw_sessions))
+        policy = spec.pop("size_policy", None)
+        if policy is not None:
+            unknown = set(policy) - _POLICY_FIELDS
+            if unknown:
+                raise ConfigError(f"unknown size_policy keys {sorted(unknown)}")
+            policy = SizePolicy(**policy)
+        known = {f.name for f in dataclasses.fields(cls)} - {"sessions", "size_policy"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ConfigError(f"unknown scenario keys {sorted(unknown)}")
+        return cls(sessions=sessions, size_policy=policy or SizePolicy(), **spec)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FarmScenario":
+        try:
+            with open(path) as fh:
+                spec = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load scenario {path!r}: {exc}") from exc
+        return cls.from_dict(spec)
+
+
+def _session_from_dict(index: int, spec: dict) -> SessionSpec:
+    if not isinstance(spec, dict):
+        raise ConfigError(f"session #{index} must be a JSON object")
+    spec = dict(spec)
+    spec.setdefault("name", f"session{index}")
+    if "variables" in spec:
+        spec["variables"] = tuple(spec["variables"])
+    unknown = set(spec) - _SESSION_FIELDS
+    if unknown:
+        raise ConfigError(f"session {spec['name']!r}: unknown keys {sorted(unknown)}")
+    return SessionSpec(**spec)
+
+
+def default_scenario(
+    seed: int = 1530,
+    result_cache_entries: int = 256,
+    backfill: bool = True,
+) -> FarmScenario:
+    """The committed capacity-study traffic: 240 requests, 6 sessions.
+
+    A mixed tenant population on a two-rack (2048-node) slice of
+    Intrepid: two open browse sessions revisiting the same 12 time
+    steps (the cross-session cache traffic), a long closed orbit, a
+    multivariate analyst, a big-partition batch sweep, and a small
+    interactive tenant.  Partition policy clamps jobs to 256–2048
+    nodes, so the batch tenant's full-machine jobs block the queue
+    head and hand the scheduler real backfill opportunities when the
+    result cache is off.
+    """
+    sessions = (
+        SessionSpec(
+            name="browse0", kind="browse", arrival="open", requests=60,
+            rate_hz=0.030, cores=4096, steps=12,
+        ),
+        SessionSpec(
+            name="browse1", kind="browse", arrival="open", requests=60,
+            rate_hz=0.030, cores=4096, steps=12, start_s=120.0,
+        ),
+        SessionSpec(
+            name="orbit0", kind="orbit", arrival="closed", requests=48,
+            think_s=4.0, cores=8192, orbit_deg=15.0,
+        ),
+        SessionSpec(
+            name="multivar0", kind="multivar", arrival="open", requests=36,
+            rate_hz=0.020, cores=4096, steps=6, start_s=60.0,
+        ),
+        SessionSpec(
+            name="batch0", kind="browse", arrival="closed", requests=24,
+            think_s=0.0, cores=16384, steps=24, slo_s=600.0,
+        ),
+        SessionSpec(
+            name="inter0", kind="orbit", arrival="open", requests=12,
+            rate_hz=0.010, cores=1024, orbit_deg=30.0, slo_s=60.0,
+        ),
+    )
+    return FarmScenario(
+        sessions=sessions,
+        seed=seed,
+        mode="model",
+        total_nodes=2048,
+        slo_s=240.0,
+        alloc_overhead_s=2.0,
+        result_cache_entries=result_cache_entries,
+        backfill=backfill,
+        size_policy=SizePolicy(min_nodes=256, max_nodes=2048),
+    )
+
+
+def selftest_scenario(seed: int = 7) -> FarmScenario:
+    """A seconds-fast functional-mode miniature for CI smoke."""
+    sessions = (
+        SessionSpec(
+            name="browse0", kind="browse", arrival="open", requests=8,
+            rate_hz=0.5, cores=64, steps=3, dataset="mini",
+        ),
+        SessionSpec(
+            name="browse1", kind="browse", arrival="open", requests=8,
+            rate_hz=0.5, cores=64, steps=3, dataset="mini", start_s=2.0,
+        ),
+        SessionSpec(
+            name="orbit0", kind="orbit", arrival="closed", requests=6,
+            think_s=0.5, cores=64, orbit_deg=60.0, dataset="mini",
+        ),
+        SessionSpec(
+            name="multivar0", kind="multivar", arrival="closed", requests=6,
+            think_s=0.2, cores=64, steps=2, dataset="mini",
+        ),
+    )
+    return FarmScenario(
+        sessions=sessions,
+        seed=seed,
+        mode="execute",
+        total_nodes=64,
+        slo_s=30.0,
+        alloc_overhead_s=0.1,
+        result_cache_entries=64,
+        size_policy=SizePolicy(min_nodes=16, max_nodes=16),
+    )
+
+
+def run_selftest() -> tuple[FarmResult, list[str]]:
+    """Run the miniature scenario and check the service invariants.
+
+    Returns the result plus a list of failure descriptions (empty on
+    success) — the CLI turns them into exit status for CI.
+    """
+    from repro.obs.tracer import CAT_FARM
+
+    result = selftest_scenario().run()
+    failures: list[str] = []
+    n = len(result.records)
+    if n != selftest_scenario().workload().total_requests:
+        failures.append(f"expected every request completed, got {n}")
+    if not all(r.t_done >= r.t_arrive for r in result.records):
+        failures.append("a request completed before it arrived")
+    spans = [s for s in (result.trace.spans if result.trace else []) if s.cat == CAT_FARM]
+    queues = sum(1 for s in spans if s.name == "queue")
+    serves = sum(1 for s in spans if s.name == "serve")
+    allocs = sum(1 for s in spans if s.name == "alloc")
+    if queues != n or serves != n:
+        failures.append(f"span reconciliation: {queues} queue / {serves} serve spans for {n} requests")
+    if allocs != n - result.cache_hits:
+        failures.append(f"{allocs} alloc spans but {n - result.cache_hits} rendered requests")
+    if result.cache_hits == 0:
+        failures.append("selftest traffic revisits frames; expected result-cache hits")
+    if any(r.cache_hit and r.serve_s != 0.0 for r in result.records):
+        failures.append("a cache hit consumed simulated service time")
+    if not (0.0 < result.utilization <= 1.0):
+        failures.append(f"utilization {result.utilization} outside (0, 1]")
+    if "attainment" not in result.summary()["slo"]:
+        failures.append("summary lacks SLO attainment")
+    return result, failures

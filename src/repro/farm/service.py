@@ -1,0 +1,310 @@
+"""`RenderFarm`: the rendering service on the simulated machine.
+
+The farm runs every moving part — session arrival processes, the
+partition scheduler, and job completions — as coroutines on one
+:class:`repro.sim.Engine`, so queueing delay, allocation overhead,
+service time, and machine utilization all share a single simulated
+clock (the same clock semantics as the frame pipeline itself).
+
+Scheduling is FCFS with EASY backfill over the aligned
+:class:`NodeAllocator`:
+
+* the head of the queue either starts immediately or gets a
+  *reservation* — the earliest time it could start given the running
+  jobs' (exactly known) end times;
+* jobs behind it may backfill onto free nodes **only if they finish by
+  that reservation**, which provably never delays the head job: by the
+  reserved time every backfilled interval has been freed again, so the
+  machine state the reservation was computed against is restored.
+
+Every request emits three :mod:`repro.obs` spans on the shared tracer —
+``queue`` (arrival → allocation), ``alloc`` (partition boot), ``serve``
+(rendering) — in category :data:`CAT_FARM`, so the existing Chrome
+trace and report exporters work unchanged, and span counts reconcile
+exactly with :class:`FarmResult` (one ``queue``+``serve`` per request,
+one ``alloc`` per *rendered* request; cache hits never boot a
+partition and their spans are zero-length).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.farm.allocator import NodeAllocator, SizePolicy
+from repro.farm.backends import ServiceBackend
+from repro.farm.cache import FrameResultCache
+from repro.farm.request import FrameRequest, RequestRecord
+from repro.farm.result import FarmResult
+from repro.farm.workload import SessionSpec, Workload
+from repro.machine.specs import BGP_ALCF
+from repro.obs.tracer import CAT_FARM, Tracer
+from repro.sim.engine import Engine
+from repro.sim.events import Future
+from repro.utils.errors import ConfigError
+
+
+@dataclass
+class _Job:
+    """One admitted (non-cache-hit) request waiting for or holding nodes."""
+
+    record: RequestRecord
+    nodes: int
+    service_s: float
+    payload: Any
+    done: Future
+    t_end: float = 0.0
+    backfilled: bool = field(default=False)
+
+    @property
+    def request(self) -> FrameRequest:
+        return self.record.request
+
+
+class RenderFarm:
+    """A multi-tenant rendering service on one simulated machine."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        backend: ServiceBackend,
+        total_nodes: int = BGP_ALCF.total_nodes,
+        size_policy: SizePolicy | None = None,
+        result_cache_entries: int = 256,
+        backfill: bool = True,
+        alloc_overhead_s: float = 0.0,
+        slo_s: float = 60.0,
+        tracer: Tracer | None = None,
+    ):
+        if alloc_overhead_s < 0:
+            raise ConfigError(f"alloc_overhead_s must be >= 0, got {alloc_overhead_s}")
+        self.workload = workload
+        self.backend = backend
+        self.size_policy = size_policy or SizePolicy()
+        self.result_cache = FrameResultCache(result_cache_entries)
+        self.backfill = bool(backfill)
+        self.alloc_overhead_s = float(alloc_overhead_s)
+        self.slo_s = float(slo_s)
+        self.tracer = tracer or Tracer(enabled=True)
+
+        self.engine = Engine()
+        self.allocator = NodeAllocator(total_nodes)
+        self.records: list[RequestRecord] = []
+        self.backfilled = 0
+        # (rid, interval, t_hold, t_end) for every partition ever booted;
+        # the no-overlap scheduler invariant is checked against this log.
+        self.allocation_log: list[tuple[str, tuple[int, int], float, float]] = []
+
+        self._queue: deque[_Job] = deque()
+        self._running: dict[str, _Job] = {}
+        self._total = workload.total_requests
+        self._completed = 0
+        self._wake: Future | None = None
+        self._pending_kick = False
+        self._util_node_s = 0.0
+        self._ran = False
+
+    # -- public -------------------------------------------------------
+
+    def run(self) -> FarmResult:
+        """Run the whole scenario to completion; one-shot."""
+        if self._ran:
+            raise ConfigError("RenderFarm.run() is one-shot; build a new farm")
+        self._ran = True
+        for spec in self.workload.sessions:
+            program = (
+                self._closed_session(spec)
+                if spec.arrival == "closed"
+                else self._open_session(spec)
+            )
+            self.engine.spawn(program, name=f"session.{spec.name}")
+        self.engine.spawn(self._scheduler(), name="farm.scheduler")
+        makespan = self.engine.run()
+        return FarmResult(
+            records=list(self.records),
+            sessions=self.workload.sessions,
+            slo_s=self.slo_s,
+            makespan_s=makespan,
+            total_nodes=self.allocator.total_nodes,
+            util_node_seconds=self._util_node_s,
+            result_cache_hits=self.result_cache.hits,
+            result_cache_misses=self.result_cache.misses,
+            plan_hits=self.backend.plan_hits,
+            plan_misses=self.backend.plan_misses,
+            backfilled=self.backfilled,
+            backend=self.backend.name,
+            trace=self.tracer,
+        )
+
+    # -- session processes --------------------------------------------
+
+    def _open_session(self, spec: SessionSpec):
+        gaps = spec.interarrivals(self.workload.seed)
+        if spec.start_s > 0:
+            yield float(spec.start_s)
+        for i in range(spec.requests):
+            yield float(gaps[i])
+            self._submit(spec.request(i))
+
+    def _closed_session(self, spec: SessionSpec):
+        thinks = spec.think_times(self.workload.seed)
+        if spec.start_s > 0:
+            yield float(spec.start_s)
+        for i in range(spec.requests):
+            done = self._submit(spec.request(i))
+            yield done
+            if thinks[i] > 0:
+                yield float(thinks[i])
+
+    # -- admission ----------------------------------------------------
+
+    def _submit(self, request: FrameRequest) -> Future:
+        now = self.engine.now
+        record = RequestRecord(request, t_arrive=now)
+        self.records.append(record)
+        done = Future(name=f"{request.rid}.done")
+        payload = self.result_cache.lookup(request.frame_key)
+        if payload is not None:
+            self._complete_from_cache(record, done)
+            return done
+        nodes = self.size_policy.nodes_for(request.cores)
+        if nodes > self.allocator.total_nodes:
+            raise ConfigError(
+                f"request {request.rid} needs a {nodes}-node partition but the "
+                f"farm machine has {self.allocator.total_nodes} nodes"
+            )
+        service_s, payload = self.backend.render(
+            request, self.size_policy.cores_for(nodes)
+        )
+        self._queue.append(
+            _Job(record=record, nodes=nodes, service_s=service_s, payload=payload, done=done)
+        )
+        self._kick()
+        return done
+
+    def _complete_from_cache(self, record: RequestRecord, done: Future) -> None:
+        """A warm result-cache hit: done *now*, in zero service time."""
+        now = self.engine.now
+        record.t_hold = record.t_serve = record.t_done = now
+        record.cache_hit = True
+        rank = self.workload.session_index(record.request.session)
+        self.tracer.span(rank, "queue", CAT_FARM, record.t_arrive, now, req=record.request.rid)
+        self.tracer.span(rank, "serve", CAT_FARM, now, now, req=record.request.rid, cached=True)
+        self._completed += 1
+        done.resolve(record)
+        self._kick()
+
+    # -- the scheduler ------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._wake is not None and not self._wake.done:
+            self._wake.resolve()
+        else:
+            self._pending_kick = True
+
+    def _scheduler(self):
+        while self._completed < self._total:
+            self._dispatch()
+            if self._completed >= self._total and not self._queue:
+                break
+            if self._pending_kick:
+                self._pending_kick = False
+                continue
+            self._wake = Future(name="farm.wake")
+            yield self._wake
+            self._wake = None
+
+    def _dispatch(self) -> None:
+        q = self._queue
+        while q:
+            head = q[0]
+            if self._dispatch_cached(head):
+                q.popleft()
+                continue
+            interval = self.allocator.alloc(head.nodes)
+            if interval is not None:
+                q.popleft()
+                self._start(head, interval)
+                continue
+            # Head blocked: reserve its earliest possible start, then
+            # let later jobs backfill without touching that reservation.
+            shadow = self._shadow_time(head)
+            if head.record.reserved_start is None:
+                head.record.reserved_start = shadow
+            if self.backfill:
+                self._backfill_behind(head, shadow)
+            return
+
+    def _dispatch_cached(self, job: _Job) -> bool:
+        """Complete a queued job whose frame got cached while it waited."""
+        if not self.result_cache.contains(job.request.frame_key):
+            return False
+        self.result_cache.lookup(job.request.frame_key)  # refresh recency
+        self._complete_from_cache(job.record, job.done)
+        return True
+
+    def _backfill_behind(self, head: _Job, shadow: float) -> None:
+        now = self.engine.now
+        for job in list(self._queue)[1:]:
+            if self._dispatch_cached(job):
+                self._queue.remove(job)
+                continue
+            hold_s = self.alloc_overhead_s + job.service_s
+            if now + hold_s > shadow + 1e-12:
+                continue  # would overrun the head job's reservation
+            interval = self.allocator.alloc(job.nodes)
+            if interval is not None:
+                self._queue.remove(job)
+                job.backfilled = True
+                self.backfilled += 1
+                self._start(job, interval)
+
+    def _shadow_time(self, job: _Job) -> float:
+        """Earliest time ``job`` fits, replaying running jobs' releases."""
+        ghost = self.allocator.clone()
+        when = self.engine.now
+        for other in sorted(self._running.values(), key=lambda j: (j.t_end, j.record.interval)):
+            ghost.free(other.record.interval)  # type: ignore[arg-type]
+            when = other.t_end
+            if ghost.fits(job.nodes):
+                return when
+        # All running jobs released: an empty machine always fits (the
+        # submit-time size check guarantees nodes <= total_nodes).
+        return when
+
+    # -- job lifecycle ------------------------------------------------
+
+    def _start(self, job: _Job, interval: tuple[int, int]) -> None:
+        now = self.engine.now
+        record = job.record
+        record.t_hold = now
+        record.t_serve = now + self.alloc_overhead_s
+        record.t_done = record.t_serve + job.service_s
+        record.nodes = job.nodes
+        record.interval = interval
+        job.t_end = record.t_done
+        self._running[job.request.rid] = job
+        self._util_node_s += job.nodes * (record.t_done - now)
+        self.allocation_log.append((job.request.rid, interval, now, record.t_done))
+        self.engine.schedule_at(record.t_done, lambda j=job: self._finish(j))
+
+    def _finish(self, job: _Job) -> None:
+        record = job.record
+        self.allocator.free(record.interval)  # type: ignore[arg-type]
+        self._running.pop(job.request.rid)
+        rank = self.workload.session_index(record.request.session)
+        rid = record.request.rid
+        self.tracer.span(rank, "queue", CAT_FARM, record.t_arrive, record.t_hold, req=rid)
+        self.tracer.span(
+            rank, "alloc", CAT_FARM, record.t_hold, record.t_serve,
+            req=rid, nodes=job.nodes,
+        )
+        self.tracer.span(
+            rank, "serve", CAT_FARM, record.t_serve, record.t_done,
+            req=rid, nodes=job.nodes, backfilled=job.backfilled,
+        )
+        self.result_cache.store(record.request.frame_key, job.payload)
+        self._completed += 1
+        job.done.resolve(record)
+        self._kick()

@@ -1,0 +1,140 @@
+"""Multi-tenant workload generation: sessions and arrival processes.
+
+A *session* is one client doing one kind of work against the service:
+
+* ``browse``  — stepping through the time steps of a dataset with a
+  fixed camera (the classic post-hoc exploration loop).  Sessions
+  cycle through ``steps`` distinct time steps, so campaigns longer
+  than the step count *revisit* frames — the traffic the result
+  cache exists for.
+* ``orbit``   — a camera fly-around of one time step: azimuth advances
+  ``orbit_deg`` per request, wrapping at 360° (long orbits also
+  revisit frames).
+* ``multivar`` — alternating variables of the same time steps (the
+  multivariate-view workload of ``repro.render.multivariate``).
+
+Each session submits requests through an *arrival process*:
+
+* ``open``   — requests arrive at exponentially distributed intervals
+  of mean ``1/rate_hz``, independent of completions (a traffic model:
+  load does not slow down when the service does);
+* ``closed`` — the session waits for each frame, thinks for
+  ``think_s`` seconds, then asks for the next (an interactive user).
+
+Generation is deterministic given the scenario ``seed``: every session
+derives its RNG stream from ``(seed, session name)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.farm.request import FrameRequest
+from repro.utils.errors import ConfigError
+
+SESSION_KINDS = ("browse", "orbit", "multivar")
+ARRIVALS = ("open", "closed")
+
+#: Variables a ``multivar`` session cycles through by default.
+DEFAULT_VARIABLES = ("pressure", "density")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One tenant's workload: what it renders and how its traffic arrives."""
+
+    name: str
+    kind: str = "browse"
+    requests: int = 20
+    cores: int = 4096
+    arrival: str = "open"
+    rate_hz: float = 0.05  # open sessions: mean arrival rate
+    think_s: float = 10.0  # closed sessions: gap after each frame
+    start_s: float = 0.0  # session joins the service at this time
+    dataset: str = "1120"
+    io_mode: str = "raw"
+    steps: int = 10  # distinct time steps the session cycles over
+    orbit_deg: float = 15.0
+    azimuth_deg: float = 30.0
+    elevation_deg: float = 20.0
+    variables: tuple[str, ...] = DEFAULT_VARIABLES
+    slo_s: float | None = None  # overrides the scenario-wide SLO
+
+    def __post_init__(self) -> None:
+        if self.kind not in SESSION_KINDS:
+            raise ConfigError(f"unknown session kind {self.kind!r}; choose from {SESSION_KINDS}")
+        if self.arrival not in ARRIVALS:
+            raise ConfigError(f"unknown arrival {self.arrival!r}; choose from {ARRIVALS}")
+        if self.requests < 1:
+            raise ConfigError(f"session {self.name!r} must make at least one request")
+        if self.arrival == "open" and self.rate_hz <= 0:
+            raise ConfigError(f"open session {self.name!r} needs rate_hz > 0")
+        if self.steps < 1:
+            raise ConfigError(f"session {self.name!r} needs steps >= 1")
+
+    def request(self, seq: int) -> FrameRequest:
+        """The ``seq``-th frame this session asks for (deterministic)."""
+        step, az, el, var = 0, self.azimuth_deg, self.elevation_deg, self.variables[0]
+        if self.kind == "browse":
+            step = seq % self.steps
+        elif self.kind == "orbit":
+            step = 0
+            az = (self.azimuth_deg + seq * self.orbit_deg) % 360.0
+        else:  # multivar
+            step = (seq // len(self.variables)) % self.steps
+            var = self.variables[seq % len(self.variables)]
+        return FrameRequest(
+            session=self.name,
+            seq=seq,
+            dataset=self.dataset,
+            step=step,
+            azimuth_deg=az,
+            elevation_deg=el,
+            variable=var,
+            cores=self.cores,
+            io_mode=self.io_mode,
+        )
+
+    def interarrivals(self, seed: int) -> np.ndarray:
+        """Exponential gaps for an open session (ignored when closed)."""
+        return self._rng(seed, "arrive").exponential(1.0 / self.rate_hz, size=self.requests)
+
+    def think_times(self, seed: int) -> np.ndarray:
+        """Per-request think gaps for a closed session."""
+        if self.think_s <= 0:
+            return np.zeros(self.requests)
+        return self._rng(seed, "think").exponential(self.think_s, size=self.requests)
+
+    def _rng(self, seed: int, stream: str) -> np.random.Generator:
+        # zlib.crc32, not hash(): str hashing is salted per process and
+        # would make arrival streams differ between identical runs.
+        tag = zlib.crc32(f"{int(seed)}:{self.name}:{stream}".encode())
+        return np.random.default_rng((int(seed) << 32) ^ tag)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A bundle of sessions plus the seed their arrival streams derive from."""
+
+    sessions: tuple[SessionSpec, ...]
+    seed: int = 1530
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.sessions]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate session names: {sorted(names)}")
+        if not self.sessions:
+            raise ConfigError("workload needs at least one session")
+
+    @property
+    def total_requests(self) -> int:
+        return sum(s.requests for s in self.sessions)
+
+    def session_index(self, name: str) -> int:
+        for i, s in enumerate(self.sessions):
+            if s.name == name:
+                return i
+        raise ConfigError(f"unknown session {name!r}")

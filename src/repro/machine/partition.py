@@ -42,7 +42,24 @@ def torus_shape_for_nodes(nodes: int) -> tuple[int, int, int]:
     """Return the torus/mesh shape for a node count.
 
     Uses the standard partition table when possible; otherwise factors
-    the count into the most cubic power-of-two box available.
+    the count into the most cubic box its prime factorization allows
+    (greedy largest-factor-first onto the smallest dimension, which
+    keeps factor-rich counts like 96 → (4, 4, 6) or 6000 → (15, 20, 20)
+    near-cubic).
+
+    **Degenerate counts.** The shape can only be as cubic as the
+    factorization permits: a prime count *p* has no factorization other
+    than ``(1, 1, p)``, so primes (and near-primes like ``2·p``) come
+    back as chain/slab shapes.  That is geometry, not a bug — no real
+    Blue Gene partition has such a count, and the control system (here,
+    :func:`repro.farm.allocator.standard_size_for`) only ever boots the
+    :data:`STANDARD_PARTITIONS` sizes.  The fallback exists for what-if
+    modeling of non-standard counts; callers that need a well-shaped
+    network should round to a standard size first.  The guarantees this
+    function *does* make for every count (pinned by
+    ``tests/machine/test_partition.py``): the dims multiply to exactly
+    ``nodes``, are sorted ascending, and no chain shape is returned for
+    any count whose factorization admits something better.
     """
     check_positive("nodes", nodes)
     if nodes in STANDARD_PARTITIONS:

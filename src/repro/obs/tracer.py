@@ -34,6 +34,7 @@ CAT_COLL = "coll"  # one collective call, per participating rank
 CAT_COMPOSE = "compose"  # compositing-specific activity (recv waits)
 CAT_IO = "io"  # bridged physical I/O accesses
 CAT_PROC = "proc"  # engine process lifetimes
+CAT_FARM = "farm"  # rendering-service request phases (queue/alloc/serve)
 
 #: The frame stages, in pipeline order (Sec. III-B).
 STAGES = ("io", "render", "composite")

@@ -64,6 +64,20 @@ class TestTimeSeries:
         render_time_series(renderer, handles, orbit_degrees_per_frame=15)
         assert renderer.camera is before
 
+    def test_camera_restored_when_a_frame_raises(self, renderer, handles):
+        # A mid-campaign failure must not leave the shared renderer
+        # pointed at an orbit camera: farm-level reuse depends on it.
+        before = renderer.camera
+
+        def explode(i):
+            if i == 1:
+                raise RuntimeError("boom")
+            return Camera.looking_at_volume(GRID, width=24, height=24, azimuth_deg=90)
+
+        with pytest.raises(RuntimeError, match="boom"):
+            render_time_series(renderer, handles, camera_factory=explode)
+        assert renderer.camera is before
+
     def test_empty_series_rejected(self, renderer):
         with pytest.raises(ConfigError):
             render_time_series(renderer, [])

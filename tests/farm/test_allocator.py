@@ -1,0 +1,116 @@
+"""Aligned node allocation and the partition size policy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.farm.allocator import (
+    STANDARD_SIZES,
+    NodeAllocator,
+    SizePolicy,
+    standard_size_for,
+)
+from repro.utils.errors import ConfigError
+
+
+class TestStandardSize:
+    def test_exact_sizes_round_trip(self):
+        for size in STANDARD_SIZES:
+            assert standard_size_for(size) == size
+
+    def test_rounds_up(self):
+        assert standard_size_for(17) == 32
+        assert standard_size_for(513) == 1024
+        assert standard_size_for(1) == 16
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ConfigError, match="no standard partition"):
+            standard_size_for(40961)
+
+
+class TestSizePolicy:
+    def test_cores_round_to_standard_nodes(self):
+        policy = SizePolicy()
+        assert policy.nodes_for(64) == 16
+        assert policy.nodes_for(4096) == 1024
+        assert policy.nodes_for(4097) == 2048
+
+    def test_floor_and_cap(self):
+        policy = SizePolicy(min_nodes=256, max_nodes=2048)
+        assert policy.nodes_for(64) == 256
+        assert policy.nodes_for(32768) == 2048
+
+    def test_result_always_standard(self):
+        policy = SizePolicy(min_nodes=100, max_nodes=5000)
+        for cores in (1, 63, 64, 1000, 4096, 100_000):
+            assert policy.nodes_for(cores) in STANDARD_SIZES
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigError, match="min_nodes"):
+            SizePolicy(min_nodes=1024, max_nodes=512)
+
+
+class TestNodeAllocator:
+    def test_alloc_is_aligned(self):
+        a = NodeAllocator(4096)
+        assert a.alloc(512) == (0, 512)
+        assert a.alloc(1024) == (1024, 2048)  # skips the 512..1024 hole
+        assert a.alloc(512) == (512, 1024)  # the hole still serves 512s
+
+    def test_exhaustion_returns_none(self):
+        a = NodeAllocator(1024)
+        assert a.alloc(1024) == (0, 1024)
+        assert a.alloc(16) is None
+
+    def test_free_coalesces(self):
+        a = NodeAllocator(2048)
+        ivs = [a.alloc(512) for _ in range(4)]
+        assert a.free_nodes == 0
+        for iv in ivs:
+            a.free(iv)
+        assert a._free == [(0, 2048)]
+
+    def test_double_free_rejected(self):
+        a = NodeAllocator(1024)
+        iv = a.alloc(256)
+        a.free(iv)
+        with pytest.raises(ConfigError, match="double free"):
+            a.free(iv)
+
+    def test_clone_is_independent(self):
+        a = NodeAllocator(1024)
+        a.alloc(256)
+        c = a.clone()
+        c.alloc(256)
+        assert a.free_nodes == 768
+        assert c.free_nodes == 512
+
+    @given(
+        st.lists(
+            st.sampled_from([16, 32, 64, 128, 256, 512]),
+            min_size=1,
+            max_size=60,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_random_alloc_free_invariants(self, sizes, pyrandom):
+        """Live intervals never overlap, always align, and freeing all
+        of them restores the pristine allocator."""
+        a = NodeAllocator(2048)
+        live: list[tuple[int, int]] = []
+        for size in sizes:
+            # Randomly interleave frees to fragment the space.
+            if live and pyrandom.random() < 0.4:
+                a.free(live.pop(pyrandom.randrange(len(live))))
+            iv = a.alloc(size)
+            if iv is None:
+                continue
+            lo, hi = iv
+            assert hi - lo == size
+            assert lo % size == 0
+            for olo, ohi in live:
+                assert hi <= olo or ohi <= lo, "allocations overlap"
+            live.append(iv)
+        assert a.allocated_nodes == sum(hi - lo for lo, hi in live)
+        for iv in live:
+            a.free(iv)
+        assert a._free == [(0, 2048)]

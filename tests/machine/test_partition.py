@@ -31,6 +31,65 @@ class TestTorusShapes:
         assert all(s >= 1 for s in shape)
 
 
+class TestFallbackFactorization:
+    """The non-standard path: factor-rich counts stay near-cubic,
+    degenerate counts are exactly the documented ones."""
+
+    def test_factor_rich_counts_near_cubic(self):
+        # max/min dim ratio bounded: the greedy split cannot strand all
+        # the factors on one axis when plenty are available.
+        for nodes, bound in ((96, 2.0), (768, 2.0), (6000, 2.0), (1440, 2.5)):
+            shape = torus_shape_for_nodes(nodes)
+            assert int(np.prod(shape)) == nodes
+            assert max(shape) / min(shape) <= bound, (nodes, shape)
+
+    def test_known_fallback_shapes(self):
+        assert torus_shape_for_nodes(96) == (4, 4, 6)
+        assert torus_shape_for_nodes(768) == (8, 8, 12)
+        assert torus_shape_for_nodes(6000) == (15, 20, 20)
+
+    def test_dims_sorted_ascending(self):
+        for nodes in (96, 97, 768, 6000, 2 * 1019):
+            shape = torus_shape_for_nodes(nodes)
+            assert tuple(sorted(shape)) == shape
+
+    def test_primes_yield_documented_chains(self):
+        # A prime count has no other factorization: the chain shape is
+        # the documented degenerate case, not an accident.
+        for p in (7, 97, 1019, 4999):
+            assert torus_shape_for_nodes(p) == (1, 1, p)
+
+    def test_chains_only_for_primes(self):
+        # Any composite count with >= 2 prime factors must spread them
+        # over at least two dimensions.
+        for nodes in range(2, 2000):
+            shape = torus_shape_for_nodes(nodes)
+            nfactors = _num_prime_factors(nodes)
+            if nfactors >= 2:
+                assert shape[1] > 1, (nodes, shape)
+
+    def test_near_primes_get_a_second_axis(self):
+        assert torus_shape_for_nodes(2 * 1019) == (1, 2, 1019)
+
+    @given(st.integers(min_value=2, max_value=40960))
+    def test_fallback_never_beats_its_factorization(self, nodes):
+        # Product is exact, and chain shapes appear iff the count is prime.
+        shape = torus_shape_for_nodes(nodes)
+        assert int(np.prod(shape)) == nodes
+        if shape[:2] == (1, 1) and nodes not in STANDARD_PARTITIONS:
+            assert _num_prime_factors(nodes) == 1
+
+
+def _num_prime_factors(n: int) -> int:
+    count, f = 0, 2
+    while f * f <= n:
+        while n % f == 0:
+            count += 1
+            n //= f
+        f += 1
+    return count + (1 if n > 1 else 0)
+
+
 class TestPartition:
     def test_for_cores_vn_mode(self):
         p = Partition.for_cores(32768)

@@ -79,6 +79,66 @@ class TestCLI:
         assert "17 SANs" in text
         assert "torus" in text
 
+    def test_farm_scenario_file_to_json_summary(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "seed": 5,
+            "mode": "model",
+            "total_nodes": 2048,
+            "slo_s": 300.0,
+            "size_policy": {"min_nodes": 256, "max_nodes": 1024},
+            "sessions": [
+                {"name": "browse", "kind": "browse", "arrival": "open",
+                 "requests": 8, "rate_hz": 0.5, "cores": 4096, "steps": 4},
+                {"name": "orbit", "kind": "orbit", "arrival": "closed",
+                 "requests": 6, "think_s": 2.0, "cores": 2048},
+            ],
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        rc = main(["farm", "--scenario", str(path), "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["requests"] == 14
+        assert summary["sessions"] == 2
+        assert {"p50", "p95", "p99"} <= summary["latency_s"].keys()
+        assert 0.0 <= summary["machine"]["utilization"] <= 1.0
+        assert "result_hit_rate" in summary["cache"]
+        assert set(summary["per_session"]) == {"browse", "orbit"}
+
+    def test_farm_default_report(self, capsys):
+        rc = main(["farm", "--seed", "2", "--no-result-cache"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "utilization" in text and "SLO" in text
+
+    def test_farm_selftest(self, capsys):
+        rc = main(["farm", "--selftest"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "farm selftest ok" in text
+
+    def test_farm_trace_out(self, tmp_path):
+        import json
+
+        trace_out = tmp_path / "farm-trace.json"
+        rc = main([
+            "farm", "--selftest", "--trace-out", str(trace_out),
+        ])
+        assert rc == 0
+        doc = json.loads(trace_out.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"queue", "serve"} <= names
+
+    def test_farm_bad_scenario_returns_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"sessions": [], "typo": true}')
+        rc = main(["farm", "--scenario", str(path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["transmogrify"])
