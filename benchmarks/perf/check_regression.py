@@ -3,12 +3,15 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/check_regression.py
-        [--tolerance 0.25] [--update]
+        [--tolerance 0.25] [--update] [--only NAME ...]
 
 Re-runs every ``guard: true`` benchmark and fails (exit 1) if any
 kernel is more than ``tolerance`` (default 25%) slower than its
 committed ``BENCH_*.json`` entry.  ``--update`` instead regenerates
 the baselines in full (including the slow reference kernel).
+``--only`` restricts the guard to the named kernels — the CI
+``des-scale-smoke`` job uses it to run just the 2048-rank direct-send
+frame under its wall-clock budget.
 
 Also exposed as ``python -m repro bench``.
 """
@@ -21,7 +24,7 @@ import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
-BASELINE_FILES = ("BENCH_render.json", "BENCH_pipeline.json")
+BASELINE_FILES = ("BENCH_render.json", "BENCH_pipeline.json", "BENCH_des.json")
 
 
 def load_baselines(root: pathlib.Path) -> dict[str, dict]:
@@ -50,6 +53,10 @@ def main(argv=None) -> int:
         "--update", action="store_true",
         help="regenerate the committed baselines instead of checking",
     )
+    parser.add_argument(
+        "--only", nargs="+", metavar="NAME", default=None,
+        help="restrict the guard to these benchmark names",
+    )
     parser.add_argument("--root", default=str(REPO_ROOT), help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
     root = pathlib.Path(args.root)
@@ -67,6 +74,16 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     guarded = [n for n, e in baselines.items() if e.get("guard")]
+    if args.only:
+        unknown = [n for n in args.only if n not in guarded]
+        if unknown:
+            print(
+                f"error: --only names not in the guarded set: "
+                f"{', '.join(unknown)} (guarded: {', '.join(sorted(guarded))})",
+                file=sys.stderr,
+            )
+            return 2
+        guarded = [n for n in guarded if n in set(args.only)]
     print(f"perf regression guard: {len(guarded)} kernels, "
           f"tolerance {args.tolerance:.0%}")
     fresh_by_file = collect(names=set(guarded))

@@ -96,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true",
         help="regenerate the committed BENCH_*.json baselines",
     )
+    p_bench.add_argument(
+        "--only", nargs="+", metavar="NAME", default=None,
+        help="restrict the guard to these benchmark names",
+    )
 
     p_farm = sub.add_parser(
         "farm", help="run a rendering-service traffic scenario"
@@ -280,6 +284,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     argv = ["--tolerance", str(args.tolerance)]
     if args.update:
         argv.append("--update")
+    if args.only:
+        argv.extend(["--only", *args.only])
     return module.main(argv)
 
 

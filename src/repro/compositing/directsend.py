@@ -43,7 +43,7 @@ def direct_send_compose(
     if tr is not None and not tr.enabled:
         tr = None
     outgoing = schedule.outgoing(ctx.rank)
-    reqs = []
+    batch: list[tuple[int, Any]] = []
     for msg in outgoing:
         dest = schedule.compositor_rank(msg.tile)
         if dest == ctx.rank:
@@ -64,7 +64,9 @@ def direct_send_compose(
         if tr is not None:
             tr.count("compose.pieces_sent")
             tr.count("compose.pixels_sent", int(piece.rgba.shape[0] * piece.rgba.shape[1]))
-        reqs.append(ctx.isend(piece, dest, COMPOSITE_TAG))
+        batch.append((dest, piece))
+    # One bulk-vectorized wire timeline for the whole fan-out.
+    reqs = ctx.isend_many(batch, COMPOSITE_TAG) if batch else []
 
     my_tile = ctx.rank if ctx.rank < schedule.num_compositors else None
     result = None

@@ -49,6 +49,32 @@ def block_world_bounds(
     return lo, hi
 
 
+class PlanKey:
+    """Frame-configuration identity with a precomputed hash digest.
+
+    A plan key hashes ~30 floats (the camera frame); computing that
+    digest once at construction makes every warm cache lookup an O(1)
+    table probe, with the full tuple compared only on digest collision.
+    """
+
+    __slots__ = ("parts", "_hash")
+
+    def __init__(self, parts: tuple):
+        self.parts = parts
+        self._hash = hash(parts)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PlanKey):
+            return self._hash == other._hash and self.parts == other.parts
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PlanKey({self.parts!r})"
+
+
 @dataclass
 class FramePlan:
     """The data-independent part of one frame, ready to re-use."""
@@ -87,7 +113,7 @@ class FramePlanCache:
         ghost_mode: str,
         num_compositors: int,
     ) -> FramePlan:
-        key = (
+        key = PlanKey((
             camera.plan_key(),
             tuple(grid),
             int(nprocs),
@@ -95,7 +121,7 @@ class FramePlanCache:
             int(ghost),
             ghost_mode,
             int(num_compositors),
-        )
+        ))
         plan = self._plans.pop(key, None)
         if plan is not None:
             # Re-insert on hit: eviction below pops the *least recently

@@ -61,6 +61,8 @@ class TorusTopology:
         self.torus = bool(torus)
         self.num_nodes = int(np.prod(self.shape))
         self.num_links = self.num_nodes * self.NUM_DIRS
+        # Lazily built per-source-node hop-distance rows (hop_row).
+        self._hop_rows: dict[int, np.ndarray] = {}
 
     # -- coordinates ----------------------------------------------------
 
@@ -118,6 +120,26 @@ class TorusTopology:
         for dim in range(3):
             total = total + np.abs(self.signed_steps(a[..., dim], b[..., dim], dim))
         return total
+
+    def hop_row(self, src_node: int) -> np.ndarray:
+        """Routed hop counts from ``src_node`` to *every* node.
+
+        Rows are memoized on the topology (built vectorized on first
+        use, read-only thereafter), so per-message transports look up
+        distances in O(1) instead of re-running shortest-path math.
+        ``int32`` keeps a fully populated 4096-node table at 64 MB
+        instead of 128.
+        """
+        row = self._hop_rows.get(src_node)
+        if row is None:
+            if not 0 <= src_node < self.num_nodes:
+                raise ConfigError("node index out of range")
+            row = self.hop_count(
+                np.int64(src_node), np.arange(self.num_nodes, dtype=np.int64)
+            ).astype(np.int32)
+            row.setflags(write=False)
+            self._hop_rows[int(src_node)] = row
+        return row
 
     def route(self, src_node: int, dst_node: int) -> list[int]:
         """Explicit ordered list of link ids for one message (scalar).

@@ -65,6 +65,7 @@ class Camera:
             # Half-extents of the image plane at unit distance.
             self._half_h = float(np.tan(np.radians(self.fov_deg) / 2.0))
         self._half_w = self._half_h * self.width / self.height
+        self._plan_key: tuple | None = None
 
     @classmethod
     def looking_at_volume(
@@ -95,18 +96,24 @@ class Camera:
         and depth keys, so any geometry derived from one is valid for
         the other.  Built from the *derived* frame (eye, basis, image
         plane half-extents), so equivalent constructions share a key.
+
+        Memoized: a camera's frame is fixed at construction, and warm
+        plan-cache lookups call this once per rendered frame.
         """
-        return (
-            self.orthographic,
-            self.width,
-            self.height,
-            tuple(self.eye.tolist()),
-            tuple(self.forward.tolist()),
-            tuple(self.right.tolist()),
-            tuple(self.up.tolist()),
-            self._half_w,
-            self._half_h,
-        )
+        key = self._plan_key
+        if key is None:
+            key = self._plan_key = (
+                self.orthographic,
+                self.width,
+                self.height,
+                tuple(self.eye.tolist()),
+                tuple(self.forward.tolist()),
+                tuple(self.right.tolist()),
+                tuple(self.up.tolist()),
+                self._half_w,
+                self._half_h,
+            )
+        return key
 
     # -- rays --------------------------------------------------------------
 

@@ -7,38 +7,65 @@ from typing import Any, Callable, Iterable
 from repro.utils.errors import SimulationError
 
 
-class Event:
+class Event(list):
     """A callback scheduled at a simulated time.
 
-    Events order by ``(time, priority, seq)``; ``seq`` is a creation
-    counter that makes ordering deterministic for simultaneous events.
+    The event *is* its own queue entry: a 4-element list
+    ``[time, priority, seq, fn]``.  That single object serves as both
+    the user-facing cancellation handle and the engine's sort key —
+    list comparison is element-wise at C speed, so sorting a queue of
+    events costs the same as sorting bare tuples, and scheduling
+    allocates exactly one object.  ``seq`` is a creation counter that
+    makes ordering deterministic for simultaneous events (it is unique
+    per engine, so comparison never reaches the non-orderable ``fn``
+    element).
+
+    Cancellation nulls the ``fn`` element (the engine skips fn-less
+    entries on pop), so a cancelled event holds no reference to its
+    callback and the queue never has to search for it.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "on_cancel")
+    __slots__ = ("on_cancel",)
 
-    def __init__(self, time: float, priority: int, seq: int, fn: Callable[[], None]):
-        self.time = time
-        self.priority = priority
-        self.seq = seq
-        self.fn = fn
-        self.cancelled = False
+    def __init__(self, time: float, priority: int = 0, seq: int = 0,
+                 fn: Callable[[], None] | None = None):
+        list.__init__(self, (time, priority, seq, fn))
         # Set by the owning engine so it can keep a live count of
-        # cancelled-but-queued events (and compact its heap).
+        # cancelled-but-queued events (and compact its queue).  The
+        # engine builds events through ``list.__init__`` directly and
+        # always assigns this; only this compat constructor defaults it.
         self.on_cancel: Callable[[], None] | None = None
+
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def priority(self) -> int:
+        return self[1]
+
+    @property
+    def seq(self) -> int:
+        return self[2]
+
+    @property
+    def fn(self) -> Callable[[], None] | None:
+        return self[3]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[3] is None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
-        if not self.cancelled:
-            self.cancelled = True
+        if self[3] is not None:
+            self[3] = None
             if self.on_cancel is not None:
                 self.on_cancel()
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
-
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time:.9f} prio={self.priority} seq={self.seq}{state}>"
+        return f"<Event t={self[0]:.9f} prio={self[1]} seq={self[2]}{state}>"
 
 
 class Future:
@@ -47,6 +74,12 @@ class Future:
     Processes ``yield`` a future to suspend until it is resolved.  A
     future may only be resolved once; resolving twice is a simulation
     bug and raises :class:`SimulationError`.
+
+    The callback list may also hold :class:`~repro.sim.engine.Process`
+    objects directly (a process is callable: calling it requeues it on
+    its engine).  Mixing the two keeps one registration order, so a
+    future with both plain callbacks and waiting processes fires them
+    exactly in the order they subscribed.
     """
 
     __slots__ = ("done", "value", "_callbacks", "name")
@@ -63,9 +96,11 @@ class Future:
             raise SimulationError(f"future {self.name or id(self)} resolved twice")
         self.done = True
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(value)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for cb in callbacks:
+                cb(value)
 
     def add_done_callback(self, cb: Callable[[Any], None]) -> None:
         """Call ``cb(value)`` when resolved (immediately if already done)."""

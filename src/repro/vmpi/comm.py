@@ -3,6 +3,17 @@
 The :class:`MessageBoard` owns one mailbox per rank.  Deliveries and
 receives match MPI-style on ``(source, tag)`` with wildcard support,
 in posted/arrival order.
+
+Matching is tag-indexed: each rank's mailbox and pending-receive set
+are ``{tag: deque}`` maps whose entries carry a board-wide monotonic
+stamp (arrival order for envelopes, posting order for receives).  The
+hot paths — exact-tag receive against a waiting envelope, delivery
+against a waiting exact-tag receive — are O(1) regardless of how many
+messages with *other* tags are queued, which is what keeps a
+2048-rank direct-send frame (every compositor fielding thousands of
+same-tag pieces) from going quadratic.  Wildcard-tag operations
+resolve ties across deques by stamp, preserving the original
+scan-in-order semantics exactly.
 """
 
 from __future__ import annotations
@@ -70,8 +81,24 @@ class _PendingRecv:
         self.future = future
 
 
-def _matches(want_source: int, want_tag: int, env: _Envelope) -> bool:
-    return (want_source in (ANY_SOURCE, env.source)) and (want_tag in (ANY_TAG, env.tag))
+class _Delivery:
+    """Wire-completion callback: lands one envelope in one mailbox.
+
+    A slotted callable instead of a closure — sends are the hottest
+    allocation site in a compositing phase.
+    """
+
+    __slots__ = ("board", "dest", "env", "done")
+
+    def __init__(self, board: "MessageBoard", dest: int, env: _Envelope, done: Future):
+        self.board = board
+        self.dest = dest
+        self.env = env
+        self.done = done
+
+    def __call__(self, _value: Any) -> None:
+        self.board._deliver(self.dest, self.env)
+        self.done.resolve(None)
 
 
 class MessageBoard:
@@ -80,8 +107,12 @@ class MessageBoard:
     def __init__(self, network: DESNetwork, nprocs: int):
         self.network = network
         self.nprocs = int(nprocs)
-        self._mailbox: list[deque[_Envelope]] = [deque() for _ in range(nprocs)]
-        self._pending: list[deque[_PendingRecv]] = [deque() for _ in range(nprocs)]
+        # tag -> deque[(arrival_stamp, _Envelope)], per rank.
+        self._mailbox: list[dict[int, deque]] = [{} for _ in range(nprocs)]
+        # tag (or ANY_TAG) -> deque[(post_stamp, _PendingRecv)], per rank.
+        self._pending: list[dict[int, deque]] = [{} for _ in range(nprocs)]
+        self._stamp = 0  # shared arrival/posting order counter
+        self._unreceived = 0  # live count of parked envelopes
 
     # -- sends ----------------------------------------------------------
 
@@ -94,14 +125,37 @@ class MessageBoard:
         body = snapshot(payload)
         nbytes = payload_nbytes(body)
         wire = self.network.transfer(source, dest, nbytes)
-        done = Future(name=f"send {source}->{dest} tag={tag}")
+        done = Future(name="send")
+        wire.add_done_callback(_Delivery(self, dest, _Envelope(source, tag, body, nbytes), done))
+        return Request(done, kind="isend")
 
-        def delivered(_value: Any) -> None:
-            self._deliver(dest, _Envelope(source, tag, body, nbytes))
-            done.resolve(None)
+    def post_send_many(
+        self, source: int, dest_payloads: list[tuple[int, Any]], tag: int
+    ) -> list[Request]:
+        """Eager sends of many messages with one tag, in list order.
 
-        wire.add_done_callback(delivered)
-        return Request(done, kind=f"isend->{dest}")
+        Uses :meth:`DESNetwork.transfer_many`, so the whole batch's wire
+        timeline is computed vectorized; delivery order and times are
+        identical to an equivalent sequence of :meth:`post_send` calls.
+        """
+        self._check_rank(source, "source")
+        if tag < 0:
+            raise CommunicationError(f"send tag must be >= 0, got {tag}")
+        for dest, _payload in dest_payloads:
+            self._check_rank(dest, "dest")
+        bodies = [snapshot(p) for _d, p in dest_payloads]
+        sizes = [payload_nbytes(b) for b in bodies]
+        wires = self.network.transfer_many(
+            source, [(d, s) for (d, _p), s in zip(dest_payloads, sizes)]
+        )
+        reqs = []
+        for (dest, _p), body, nbytes, wire in zip(dest_payloads, bodies, sizes, wires):
+            done = Future(name="send")
+            wire.add_done_callback(
+                _Delivery(self, dest, _Envelope(source, tag, body, nbytes), done)
+            )
+            reqs.append(Request(done, kind="isend"))
+        return reqs
 
     # -- receives ---------------------------------------------------------
 
@@ -110,33 +164,108 @@ class MessageBoard:
         self._check_rank(rank, "rank")
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
-        fut = Future(name=f"recv @{rank} src={source} tag={tag}")
+        fut = Future(name="recv")
+        env = self._match_mailbox(rank, source, tag)
+        if env is not None:
+            fut.resolve((env.payload, Status(env.source, env.tag, env.nbytes)))
+        else:
+            self._stamp = stamp = self._stamp + 1
+            pend = self._pending[rank]
+            dq = pend.get(tag)
+            if dq is None:
+                dq = pend[tag] = deque()
+            dq.append((stamp, _PendingRecv(source, tag, fut)))
+        return Request(fut, kind="irecv")
+
+    def _match_mailbox(self, rank: int, source: int, tag: int):
+        """Pop and return the earliest-arrived matching envelope, if any."""
         box = self._mailbox[rank]
-        for i, env in enumerate(box):
-            if _matches(source, tag, env):
-                del box[i]
-                fut.resolve((env.payload, Status(env.source, env.tag, env.nbytes)))
-                return Request(fut, kind=f"irecv@{rank}")
-        self._pending[rank].append(_PendingRecv(source, tag, fut))
-        return Request(fut, kind=f"irecv@{rank}")
+        if not box:
+            return None
+        if tag != ANY_TAG:
+            dq = box.get(tag)
+            if not dq:
+                return None
+            if source == ANY_SOURCE:
+                env = dq.popleft()[1]
+            else:
+                hit = None
+                for i, (_stamp, e) in enumerate(dq):
+                    if e.source == source:
+                        hit, env = i, e
+                        break
+                if hit is None:
+                    return None
+                del dq[hit]
+            if not dq:
+                del box[tag]
+            self._unreceived -= 1
+            return env
+        # Wildcard tag: earliest arrival stamp across every tag's deque.
+        best_stamp = best_tag = best_i = best_env = None
+        for t, dq in box.items():
+            for i, (stamp, e) in enumerate(dq):
+                if source == ANY_SOURCE or e.source == source:
+                    if best_stamp is None or stamp < best_stamp:
+                        best_stamp, best_tag, best_i, best_env = stamp, t, i, e
+                    break
+        if best_stamp is None:
+            return None
+        dq = box[best_tag]
+        del dq[best_i]
+        if not dq:
+            del box[best_tag]
+        self._unreceived -= 1
+        return best_env
 
     def _deliver(self, dest: int, env: _Envelope) -> None:
         pend = self._pending[dest]
-        for i, p in enumerate(pend):
-            if _matches(p.source, p.tag, env):
-                del pend[i]
-                p.future.resolve((env.payload, Status(env.source, env.tag, env.nbytes)))
+        if pend:
+            # Earliest-posted matching receive: candidates live in the
+            # exact-tag deque and the wildcard-tag deque.
+            best = None  # (stamp, deque, index, tag_key)
+            for key in (env.tag, ANY_TAG):
+                dq = pend.get(key)
+                if not dq:
+                    continue
+                for i, (stamp, pr) in enumerate(dq):
+                    if pr.source == ANY_SOURCE or pr.source == env.source:
+                        if best is None or stamp < best[0]:
+                            best = (stamp, dq, i, key, pr)
+                        break
+            if best is not None:
+                _stamp, dq, i, key, pr = best
+                del dq[i]
+                if not dq:
+                    del pend[key]
+                pr.future.resolve((env.payload, Status(env.source, env.tag, env.nbytes)))
                 return
-        self._mailbox[dest].append(env)
+        self._stamp = stamp = self._stamp + 1
+        box = self._mailbox[dest]
+        dq = box.get(env.tag)
+        if dq is None:
+            dq = box[env.tag] = deque()
+        dq.append((stamp, env))
+        self._unreceived += 1
 
     # -- introspection ----------------------------------------------------
 
     def unreceived_count(self) -> int:
-        """Envelopes delivered but never received (leaks in tests)."""
-        return sum(len(b) for b in self._mailbox)
+        """Envelopes delivered but never received (leaks in tests) — O(1)."""
+        return self._unreceived
+
+    def unreceived_messages(self) -> list[tuple[int, int, int]]:
+        """(source, dest, tag) for every leaked envelope, in arrival order."""
+        leaked = []
+        for dest, box in enumerate(self._mailbox):
+            for tag, dq in box.items():
+                for stamp, env in dq:
+                    leaked.append((stamp, env.source, dest, tag))
+        leaked.sort()
+        return [(src, dest, tag) for _stamp, src, dest, tag in leaked]
 
     def pending_recv_count(self) -> int:
-        return sum(len(p) for p in self._pending)
+        return sum(len(dq) for pend in self._pending for dq in pend.values())
 
     def _check_rank(self, r: int, what: str) -> None:
         if not (0 <= r < self.nprocs):

@@ -55,6 +55,16 @@ class RankContext:
         """Non-blocking send (eager buffered)."""
         return self.board.post_send(self.rank, dest, tag, data)
 
+    def isend_many(self, dest_payloads: list[tuple[int, Any]], tag: int = 0) -> list[Request]:
+        """Non-blocking sends of a whole batch, in list order.
+
+        Equivalent to ``[self.isend(p, d, tag) for d, p in dest_payloads]``
+        but the wire timeline is computed vectorized (one NumPy pass for
+        the batch), which is what makes thousand-piece compositing
+        phases affordable to simulate.
+        """
+        return self.board.post_send_many(self.rank, dest_payloads, tag)
+
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Non-blocking receive; the request future yields (payload, Status)."""
         return self.board.post_recv(self.rank, source, tag)

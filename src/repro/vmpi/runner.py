@@ -107,8 +107,14 @@ class MPIWorld:
         ]
         elapsed = engine.run()
         if check_leaks and board.unreceived_count():
+            leaked = board.unreceived_messages()
+            shown = ", ".join(
+                f"(src={s}, dst={d}, tag={t})" for s, d, t in leaked[:20]
+            )
+            if len(leaked) > 20:
+                shown += f", ... and {len(leaked) - 20} more"
             raise CommunicationError(
-                f"{board.unreceived_count()} messages were delivered but never received"
+                f"{len(leaked)} messages were delivered but never received: {shown}"
             )
         return WorldResult(
             values=[p.done.value for p in procs],

@@ -96,6 +96,11 @@ class SubContext:
     def isend(self, data: Any, dest: int, tag: int = 0) -> Request:
         return self.parent.isend(data, self._to_parent(dest), self._tag(tag))
 
+    def isend_many(self, dest_payloads, tag: int = 0) -> list[Request]:
+        return self.parent.isend_many(
+            [(self._to_parent(d), p) for d, p in dest_payloads], self._tag(tag)
+        )
+
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         psource = ANY_SOURCE if source == ANY_SOURCE else self._to_parent(source)
         ptag = ANY_TAG if tag == ANY_TAG else self._tag(tag)

@@ -253,14 +253,15 @@ class TestCancellationAccounting:
         events = [eng.schedule(float(i + 1), lambda: None) for i in range(100)]
         for ev in events[:60]:
             ev.cancel()
-        # Crossing the half-cancelled mark compacts the heap, so dead
-        # entries never dominate: at most half the remaining heap is
+        # Crossing the half-cancelled mark compacts the queue, so dead
+        # entries never dominate: at most half the remaining entries are
         # cancelled, and the live count stays exact.
         assert eng.pending_events == 40
-        assert len(eng._heap) < 100
-        dead = sum(1 for e in eng._heap if e.cancelled)
-        assert dead * 2 <= len(eng._heap)
-        assert len(eng._heap) - dead == 40
+        queued = eng._sorted[eng._i:] + eng._incoming
+        assert len(queued) < 100
+        dead = sum(1 for e in queued if e.cancelled)
+        assert dead * 2 <= len(queued)
+        assert len(queued) - dead == 40
 
     @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=50.0), st.booleans()),
                     min_size=0, max_size=200))
@@ -278,3 +279,69 @@ class TestCancellationAccounting:
         eng.run()
         assert eng.pending_events == 0
         assert sorted(fired) == [i for i in range(len(spec)) if i not in cancelled]
+
+
+class TestDeterminism:
+    """Execution order is a pure function of the schedule calls.
+
+    The fast path keeps a lazily sorted queue, an incoming buffer, and
+    a ready deque for same-timestamp resumes; all three must merge into
+    one global (time, priority, seq) order, identically on every run.
+    """
+
+    @staticmethod
+    def _workload(eng):
+        trace = []
+
+        def mark(tag):
+            return lambda: trace.append((tag, eng.now))
+
+        events = [
+            eng.schedule(float((i * 37) % 11) * 0.5, mark(i)) for i in range(200)
+        ]
+        for ev in events[::3]:
+            ev.cancel()
+
+        def chain(depth):
+            trace.append(("chain", depth, eng.now))
+            if depth:
+                eng.schedule(0.0, lambda: chain(depth - 1))
+
+        eng.schedule(2.25, lambda: chain(3))
+        eng.run()
+        return trace
+
+    def test_run_twice_is_identical(self):
+        assert self._workload(Engine()) == self._workload(Engine())
+
+    def test_future_resume_interleaves_by_creation_order(self):
+        """A process resumed at time t slots into the same-timestamp
+        order exactly where a zero-delay schedule issued at resolution
+        time would: after events created before the resolution, before
+        events created after it."""
+        eng = Engine()
+        trace = []
+        fut = Future()
+
+        def waiter():
+            yield fut
+            trace.append("resumed")
+            eng.schedule(0.0, lambda: trace.append("after-resume"))
+
+        eng.spawn(waiter())
+
+        def resolver():
+            trace.append("resolve")
+            fut.resolve(None)  # resume enqueued here: seq between peers
+            eng.schedule(0.0, lambda: trace.append("post-resolve-event"))
+
+        eng.schedule(1.0, resolver)
+        eng.schedule(1.0, lambda: trace.append("pre-scheduled-peer"))
+        eng.run()
+        assert trace == [
+            "resolve",
+            "pre-scheduled-peer",
+            "resumed",
+            "post-resolve-event",
+            "after-resume",
+        ]

@@ -128,6 +128,38 @@ class TestSendRecv:
         with pytest.raises(CommunicationError, match="never received"):
             run(2, program)
 
+    def test_unreceived_error_names_each_endpoint(self):
+        """The leak diagnostic lists every orphaned (src, dst, tag)
+        triple so a hung collective can be localized from the message."""
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send("a", dest=1, tag=7)
+                yield from ctx.send("b", dest=2, tag=3)
+            return None
+
+        with pytest.raises(CommunicationError) as exc:
+            run(3, program)
+        msg = str(exc.value)
+        assert "2 messages" in msg
+        assert "(src=0, dst=1, tag=7)" in msg
+        assert "(src=0, dst=2, tag=3)" in msg
+
+    def test_unreceived_error_truncates_long_lists(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                for t in range(25):
+                    yield from ctx.send(t, dest=1, tag=t)
+            return None
+
+        with pytest.raises(CommunicationError) as exc:
+            run(2, program)
+        msg = str(exc.value)
+        assert "25 messages" in msg
+        assert "(src=0, dst=1, tag=19)" in msg  # 20th triple shown
+        assert "(src=0, dst=1, tag=20)" not in msg
+        assert "... and 5 more" in msg
+
     def test_waitall_returns_payloads(self):
         def program(ctx):
             if ctx.rank == 0:
