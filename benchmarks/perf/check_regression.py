@@ -24,7 +24,12 @@ import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
-BASELINE_FILES = ("BENCH_render.json", "BENCH_pipeline.json", "BENCH_des.json")
+BASELINE_FILES = (
+    "BENCH_render.json",
+    "BENCH_pipeline.json",
+    "BENCH_des.json",
+    "BENCH_fault.json",
+)
 
 
 def load_baselines(root: pathlib.Path) -> dict[str, dict]:
@@ -99,7 +104,18 @@ def main(argv=None) -> int:
         if ratio > 1.0 + args.tolerance:
             failures.append((name, ratio))
             flag = "  REGRESSION"
-        print(f"{name:<28} {base_s:>9.4f}s {fresh_s:>9.4f}s {ratio:>6.2f}x{flag}")
+        extra = ""
+        # Entries can carry an absolute self-check: a fresh-run overhead
+        # fraction that must stay under the entry's own ceiling
+        # regardless of which machine wrote the committed baseline.
+        max_overhead = fresh[name].get("max_overhead_frac")
+        if max_overhead is not None:
+            overhead = fresh[name].get("overhead_frac", 0.0)
+            extra = f"  overhead {overhead:+.1%} (max {max_overhead:.0%})"
+            if overhead > max_overhead:
+                failures.append((name, 1.0 + overhead))
+                flag = "  OVERHEAD"
+        print(f"{name:<28} {base_s:>9.4f}s {fresh_s:>9.4f}s {ratio:>6.2f}x{flag}{extra}")
 
     if failures:
         worst = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)

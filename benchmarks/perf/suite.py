@@ -297,8 +297,10 @@ def _register_des() -> None:
     # the end so ``suite`` stays importable on its own (des_scale
     # imports ``_timeit`` from here).
     from benchmarks.perf.des_scale import DES_BENCHMARKS
+    from benchmarks.perf.fault_overhead import FAULT_BENCHMARKS
 
     BENCHMARKS.update(DES_BENCHMARKS)
+    BENCHMARKS.update(FAULT_BENCHMARKS)
 
 
 _register_des()

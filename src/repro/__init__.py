@@ -24,6 +24,7 @@ __all__ = ["__version__"]
 from repro.core import FrameTiming, ParallelVolumeRenderer, render_time_series  # noqa: E402
 from repro.data import SupernovaModel, write_vh1_netcdf  # noqa: E402
 from repro.farm import FarmResult, FarmScenario, RenderFarm, default_scenario  # noqa: E402
+from repro.fault import FaultPlan, compile_fault_plan  # noqa: E402
 from repro.model import DATASETS, FrameModel  # noqa: E402
 from repro.obs import Tracer, stage_report, write_chrome_trace  # noqa: E402
 from repro.pio import IOHints, NetCDFHandle, RawHandle  # noqa: E402
@@ -48,6 +49,8 @@ __all__ += [  # noqa: PLE0604
     "FarmScenario",
     "RenderFarm",
     "default_scenario",
+    "FaultPlan",
+    "compile_fault_plan",
     "Tracer",
     "stage_report",
     "write_chrome_trace",

@@ -16,6 +16,8 @@ The commands cover the tour a new user takes:
 * ``farm``      — run a multi-tenant rendering-service traffic scenario
   (request queue, partition scheduler, frame caches) and report latency
   percentiles, SLO attainment, utilization, and cache hit rates.
+* ``chaos``     — sweep node-failure rates over a farm scenario and
+  report the availability / MTTR / goodput degradation curve.
 """
 
 from __future__ import annotations
@@ -130,6 +132,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_farm.add_argument(
         "--trace-out", default=None,
         help="also write the request spans as a Chrome trace_event JSON",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos", help="sweep failure rates over a farm scenario"
+    )
+    p_chaos.add_argument(
+        "--spec", default=None,
+        help="JSON chaos spec (scenario, sweep, repair_s, max_crashes, seed)",
+    )
+    p_chaos.add_argument(
+        "--scenario", default=None, choices=("selftest", "default"),
+        help="built-in base scenario (default selftest; ignored with --spec)",
+    )
+    p_chaos.add_argument(
+        "--sweep", nargs="+", type=float, metavar="RATE", default=None,
+        help="crash rates per node-hour to sweep (overrides the spec)",
+    )
+    p_chaos.add_argument(
+        "--repair-s", type=float, default=None,
+        help="node quarantine/repair time in seconds (overrides the spec)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    p_chaos.add_argument(
+        "--out", default=None, help="write the JSON sweep report to this path"
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report to stdout instead of the table",
+    )
+    p_chaos.add_argument(
+        "--trace-out", default=None,
+        help="Chrome trace of the highest-rate arm (fault spans included)",
     )
     return parser
 
@@ -339,6 +375,52 @@ def cmd_farm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fault.chaos import chaos_table, run_chaos
+    from repro.utils.errors import ConfigError
+
+    if args.spec:
+        try:
+            with open(args.spec) as fh:
+                spec = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load chaos spec {args.spec!r}: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise ConfigError(f"chaos spec must be a JSON object, got {type(spec).__name__}")
+    else:
+        spec = {}
+    if args.scenario is not None:
+        spec["scenario"] = args.scenario
+    if args.sweep is not None:
+        spec["sweep"] = args.sweep
+    if args.repair_s is not None:
+        spec["repair_s"] = args.repair_s
+    if args.seed is not None:
+        spec["seed"] = args.seed
+    report, last = run_chaos(spec)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+    if args.trace_out and last is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(last.trace, args.trace_out)
+    if args.json:
+        json.dump(report, sys.stdout, indent=1)
+        print()
+    else:
+        print(chaos_table(report))
+        if args.out:
+            print(f"\nreport: {args.out}")
+        if args.trace_out:
+            print(f"trace: {args.trace_out} "
+                  f"(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -349,6 +431,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "inventory": cmd_inventory,
         "bench": cmd_bench,
         "farm": cmd_farm,
+        "chaos": cmd_chaos,
     }
     try:
         return handlers[args.command](args)

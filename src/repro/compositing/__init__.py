@@ -27,7 +27,12 @@ from repro.compositing.schedule import (
     schedule_from_geometry,
 )
 from repro.compositing.policy import CompositorPolicy, PAPER_POLICY, IDENTITY_POLICY
-from repro.compositing.directsend import direct_send_compose, assemble_final_image
+from repro.compositing.directsend import (
+    assemble_final_image,
+    assemble_tiles,
+    direct_send_compose,
+    direct_send_compose_failover,
+)
 from repro.compositing.binaryswap import binary_swap_compose
 from repro.compositing.radixk import radix_k_compose, radix_k_gather, default_radices
 from repro.compositing.serial import serial_compose
@@ -44,7 +49,9 @@ __all__ = [
     "PAPER_POLICY",
     "IDENTITY_POLICY",
     "direct_send_compose",
+    "direct_send_compose_failover",
     "assemble_final_image",
+    "assemble_tiles",
     "binary_swap_compose",
     "radix_k_compose",
     "radix_k_gather",

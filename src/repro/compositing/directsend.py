@@ -23,6 +23,9 @@ from repro.render.image import PartialImage, blank_image, composite_over
 
 COMPOSITE_TAG = 7001
 GATHER_TAG = 7002
+#: Failover pieces for dead tile ``t`` travel on ``FAILOVER_TAG_BASE + t``
+#: so a survivor can receive per-(sender, tile) without ambiguity.
+FAILOVER_TAG_BASE = 7100
 
 
 def direct_send_compose(
@@ -94,6 +97,154 @@ def direct_send_compose(
         result = composite_over(canvas, pieces, canvas_origin=(x0, y0))
     yield from ctx.waitall(reqs)
     return result
+
+
+def direct_send_compose_failover(
+    ctx: Any,
+    partial: PartialImage | None,
+    schedule: CompositeSchedule,
+    compress: bool = False,
+) -> Generator:
+    """Direct-send compositing that survives compositor crashes.
+
+    Returns ``[(rect, image), ...]`` — the image regions this rank owns
+    after failover: its own tile (if it is a live compositor) plus any
+    strips of dead compositors' tiles it adopted.  With no crash plan
+    installed it delegates to :func:`direct_send_compose` and wraps the
+    result, so the fast path is untouched.
+
+    The protocol (all receives deferred until after *quiescence*):
+
+    1. **Send phase** — every renderer posts its scheduled pieces
+       exactly as in the base algorithm (skipping destinations already
+       known dead).  Pieces addressed to a compositor that dies before
+       delivery are discarded by the message board and counted lost.
+    2. **Quiescence** — every rank waits on the injector's quiescence
+       future, which resolves once the last planned crash (plus
+       detection latency) has fired.  The dead set is then a stable
+       snapshot: every rank computes the *same*
+       :func:`~repro.fault.failover.failover_assignments` locally, so
+       re-partitioning a dead tile into survivor strips requires no
+       coordination messages (the Distributed FrameBuffer trick).
+    3. **Failover sends** — renderers crop their partial against each
+       adopted strip of a dead tile they contribute to and send it to
+       the strip's new owner on ``FAILOVER_TAG_BASE + tile``.
+    4. **Receive + composite** — a live compositor receives its own
+       tile's pieces source-by-source (``probe`` distinguishes "landed
+       before the sender died" from "lost with the sender"), then each
+       adopted strip's pieces from surviving contributors.  Radiance
+       from crashed renderers is lost; the strip still composites from
+       the survivors, trading image completeness for availability (the
+       Approximate Puzzlepiece bargain).
+
+    The final image is assembled *outside* the engine from the per-rank
+    return values — there is no root gather to die with rank 0.
+    """
+    fault = getattr(ctx, "fault", None)
+    if fault is None or not fault.has_crashes:
+        tile = yield from direct_send_compose(ctx, partial, schedule, compress)
+        if tile is None:
+            return []
+        return [(schedule.tiles.tile(ctx.rank), tile)]
+
+    from repro.fault.failover import failover_assignments
+
+    tr = getattr(ctx, "tracer", None)
+    if tr is not None and not tr.enabled:
+        tr = None
+    tiles = schedule.tiles
+
+    def piece_for(rect):
+        if partial is None:
+            return PartialImage((0, 0, 0, 0), np.zeros((0, 0, 4), np.float32), float("inf"))
+        piece = partial.crop(rect)
+        if compress:
+            piece = piece.trimmed()
+        return piece
+
+    # Phase 1: the scheduled fan-out.
+    batch: list[tuple[int, Any]] = []
+    for msg in schedule.outgoing(ctx.rank):
+        dest = schedule.compositor_rank(msg.tile)
+        if dest == ctx.rank or fault.is_dead(dest):
+            continue
+        batch.append((dest, piece_for(tiles.tile(msg.tile))))
+    reqs = ctx.isend_many(batch, COMPOSITE_TAG) if batch else []
+
+    # Phase 2: wait out the failure detector; snapshot the dead set.
+    yield fault.quiescent()
+    dead = frozenset(fault.dead_ranks())
+    assignments = failover_assignments(schedule, dead)
+
+    # Phase 3: contribute to adopted strips of dead tiles.
+    my_tiles = {m.tile for m in schedule.outgoing(ctx.rank)}
+    local_pieces: dict[tuple[int, int, int, int], PartialImage] = {}
+    for owner in sorted(assignments):
+        for t, rect in assignments[owner]:
+            if t not in my_tiles:
+                continue  # footprint does not touch this dead tile
+            piece = piece_for(rect)
+            if owner == ctx.rank:
+                local_pieces[rect] = piece
+            else:
+                reqs.append(ctx.isend(piece, owner, tag=FAILOVER_TAG_BASE + t))
+            if tr is not None:
+                tr.count("compose.failover_pieces")
+
+    # Phase 4: receive and composite everything this rank now owns.
+    results: list[tuple[tuple[int, int, int, int], np.ndarray]] = []
+    if ctx.rank < schedule.num_compositors:
+        incoming = schedule.incoming(ctx.rank)
+        pieces: list[PartialImage] = []
+        if partial is not None and any(m.src == ctx.rank for m in incoming):
+            pieces.append(partial.crop(tiles.tile(ctx.rank)))
+        for m in incoming:
+            if m.src == ctx.rank:
+                continue
+            if m.src in dead and not ctx.probe(source=m.src, tag=COMPOSITE_TAG):
+                continue  # lost with the sender
+            piece = yield from ctx.recv(source=m.src, tag=COMPOSITE_TAG)
+            pieces.append(piece)
+        x0, y0, w, h = tiles.tile(ctx.rank)
+        results.append(
+            ((x0, y0, w, h), composite_over(blank_image(w, h), pieces, canvas_origin=(x0, y0)))
+        )
+    for t, rect in assignments.get(ctx.rank, ()):
+        pieces = []
+        if rect in local_pieces:
+            pieces.append(local_pieces[rect])
+        for m in schedule.incoming(t):
+            if m.src == ctx.rank or m.src in dead:
+                continue  # own piece handled above; dead radiance is lost
+            piece = yield from ctx.recv(source=m.src, tag=FAILOVER_TAG_BASE + t)
+            pieces.append(piece)
+        x0, y0, w, h = rect
+        results.append(
+            (rect, composite_over(blank_image(w, h), pieces, canvas_origin=(x0, y0)))
+        )
+        fault.note_recovered(t, t, ctx.now)
+    yield from ctx.waitall(reqs)
+    return results
+
+
+def assemble_tiles(
+    results: list[Any], width: int, height: int
+) -> np.ndarray:
+    """Host-side assembly of per-rank failover results into one canvas.
+
+    ``results`` is ``WorldResult.values`` — per-rank lists of
+    ``(rect, image)`` pairs (None entries for killed ranks are
+    skipped).  Runs outside the engine so a dead rank 0 cannot take
+    the gather down with it.
+    """
+    canvas = blank_image(width, height)
+    for per_rank in results:
+        if not per_rank:
+            continue
+        for (x0, y0, w, h), img in per_rank:
+            if img is not None:
+                canvas[y0 : y0 + h, x0 : x0 + w] = img
+    return canvas
 
 
 def assemble_final_image(

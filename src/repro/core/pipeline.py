@@ -20,14 +20,19 @@ from typing import Any
 
 import numpy as np
 
-from repro.compositing.directsend import assemble_final_image, direct_send_compose
+from repro.compositing.directsend import (
+    assemble_final_image,
+    assemble_tiles,
+    direct_send_compose,
+    direct_send_compose_failover,
+)
 from repro.compositing.policy import PAPER_POLICY, CompositorPolicy
 from repro.compositing.schedule import CompositeSchedule
 from repro.core.plan import FramePlanCache
 from repro.core.timing import FrameTiming
 from repro.model.constants import DEFAULT_CONSTANTS, ModelConstants
 from repro.model.io import IOTimeModel
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import CAT_FAULT, Tracer
 from repro.pio.hints import IOHints
 from repro.pio.reader import DatasetHandle, IOReport, collective_read_blocks
 from repro.render.camera import Camera
@@ -43,7 +48,14 @@ from repro.vmpi.runner import MPIWorld
 
 @dataclass
 class FrameResult:
-    """One rendered frame plus everything measured while making it."""
+    """One rendered frame plus everything measured while making it.
+
+    ``degraded`` marks frames rendered under the quality fallback
+    (smaller image, looser early termination); ``fault`` carries the
+    injector's :class:`~repro.fault.metrics.FaultReport` when a
+    non-empty fault plan was active.  Both defaults keep fault-free
+    construction — and therefore the zero-fault invariant — unchanged.
+    """
 
     image: np.ndarray  # (height, width, 4) premultiplied RGBA
     timing: FrameTiming
@@ -53,6 +65,29 @@ class FrameResult:
     messages: int
     bytes_sent: int
     trace: Tracer | None = None  # the frame's trace when tracing was on
+    degraded: bool = False
+    fault: Any = None
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Degraded-quality fallback for frames whose deadline is at risk.
+
+    When the projected I/O stage (priced collective read plus the
+    plan's worst straggler delay) exceeds ``io_fraction`` of
+    ``frame_deadline_s``, the frame is rendered at ``image_scale``
+    times the resolution with ``early_termination`` opacity cutoff —
+    bounded quality loss instead of a blown deadline, in the spirit of
+    approximate compositing.
+    """
+
+    frame_deadline_s: float
+    io_fraction: float = 0.5
+    image_scale: float = 0.5
+    early_termination: float = 0.98
+
+    def engages(self, projected_io_s: float) -> bool:
+        return projected_io_s > self.frame_deadline_s * self.io_fraction
 
 
 class ParallelVolumeRenderer:
@@ -71,6 +106,8 @@ class ParallelVolumeRenderer:
         ghost_mode: str = "io",
         constants: ModelConstants = DEFAULT_CONSTANTS,
         tracer: Tracer | None = None,
+        fault: Any = None,
+        degrade: DegradePolicy | None = None,
     ):
         if ghost_mode not in ("io", "exchange"):
             raise ConfigError(
@@ -88,6 +125,8 @@ class ParallelVolumeRenderer:
         self.ghost_mode = ghost_mode
         self.constants = constants
         self.tracer = tracer
+        self.fault = fault  # optional repro.fault.FaultPlan, one per frame
+        self.degrade = degrade
         self.io_model = IOTimeModel(constants, stripe)
         # Camera+decomposition keyed memo of the frame's geometry
         # (footprints, ray/box intersections, tile ownership, message
@@ -134,12 +173,49 @@ class ParallelVolumeRenderer:
         tracer = self.tracer if self.tracer is not None else Tracer(enabled=False)
         tracer.begin_frame()
         self.world.tracer = tracer
+
+        # --- Fault layer.  A fresh injector per frame (its counters
+        # and RNG streams are frame-local); the straggler delays are
+        # storage-caused, so they stretch the I/O stage per rank.
+        injector = None
+        io_delays = None
+        failover = False
+        max_straggle = 0.0
+        if self.fault is not None:
+            from repro.fault.inject import FaultInjector
+
+            injector = FaultInjector(self.fault, tracer=tracer)
+            failover = injector.has_crashes
+            if injector.has_io:
+                io_delays = {s.rank: s.delay_s for s in self.fault.io_stragglers}
+                max_straggle = max(io_delays.values())
+                if log is not None:
+                    for rank, delay in sorted(io_delays.items()):
+                        log.record_straggler(rank, delay)
+
+        # --- Degraded-quality fallback: when the projected I/O stage
+        # alone threatens the frame deadline, render smaller and
+        # terminate rays earlier.  The scaled camera gets its own frame
+        # plan (same decomposition and read blocks — only image-space
+        # geometry changes).
+        camera = self.camera
+        early_termination = None
+        degraded = False
+        if self.degrade is not None and self.degrade.engages(io_seconds + max_straggle):
+            degraded = True
+            camera = self.camera.scaled(self.degrade.image_scale)
+            early_termination = self.degrade.early_termination
+            plan = self.plan_cache.plan_for(
+                camera, grid, nprocs, self.step, self.ghost, self.ghost_mode, m
+            )
+            schedule = plan.schedule
+
         result = self.world.run(
             _frame_program,
             arrays,
             ghost_specs,
             decomposition,
-            self.camera,
+            camera,
             self.transfer,
             self.step,
             schedule,
@@ -147,8 +223,17 @@ class ParallelVolumeRenderer:
             render_rate,
             self.ghost,
             plan.ray_plans,
+            io_delays=io_delays,
+            early_termination=early_termination,
+            failover=failover,
+            fault=injector,
         )
-        image = result[0]
+        if failover:
+            # No root gather under crashes — assemble the survivors'
+            # tiles and adopted strips outside the engine.
+            image = assemble_tiles(result.values, camera.width, camera.height)
+        else:
+            image = result[0]
         stage_max = tracer.stage_maxima()
         timing = FrameTiming(
             io_s=stage_max.get("io", 0.0),
@@ -167,6 +252,8 @@ class ParallelVolumeRenderer:
             messages=result.messages,
             bytes_sent=result.bytes_sent,
             trace=tracer if tracer.enabled else None,
+            degraded=degraded,
+            fault=result.fault if injector is not None and injector.active else None,
         )
 
 
@@ -183,6 +270,9 @@ def _frame_program(
     render_rate: float,
     ghost: int,
     ray_plans: list | None = None,
+    io_delays: dict | None = None,
+    early_termination: float | None = None,
+    failover: bool = False,
 ):
     """One rank's frame: the three sequential stages of Sec. III-B.
 
@@ -199,6 +289,15 @@ def _frame_program(
     # exact plan was priced outside (the data already sits in `arrays`).
     yield from ctx.barrier()
     yield from ctx.compute(io_seconds)
+    if io_delays is not None:
+        extra = io_delays.get(ctx.rank, 0.0)
+        if extra > 0:
+            # A straggling storage server held this rank's read back.
+            t_straggle = ctx.now
+            yield from ctx.compute(extra)
+            if tr is not None and tr.enabled:
+                tr.span(ctx.rank, "io.straggler", CAT_FAULT,
+                        t_straggle, ctx.now, delay_s=extra)
     if ghost_specs is None:
         # Halo exchange counts toward the I/O stage: it finishes the
         # data distribution the collective read started.
@@ -222,7 +321,14 @@ def _frame_program(
         gl,
     )
     ray_plan = ray_plans[ctx.rank] if ray_plans is not None else None
-    partial = render_block(camera, vb, transfer, step, plan=ray_plan)
+    if early_termination is None:
+        partial = render_block(camera, vb, transfer, step, plan=ray_plan)
+    else:
+        # Degraded-quality fallback: looser opacity cutoff.
+        partial = render_block(
+            camera, vb, transfer, step,
+            early_termination=early_termination, plan=ray_plan,
+        )
     samples = partial.samples if partial is not None else 0
     yield from ctx.compute(samples / render_rate)
     t_render = ctx.now
@@ -230,6 +336,15 @@ def _frame_program(
         tr.stage(ctx.rank, "render", t_io, t_render)
 
     # Stage 3: direct-send compositing (real messages on the torus).
+    if failover:
+        # Crash plan installed: crash-tolerant compositing, and no
+        # root gather (rank 0 may die) — per-rank owned regions are
+        # assembled outside the engine.
+        owned = yield from direct_send_compose_failover(ctx, partial, schedule)
+        t_done = ctx.now
+        if tr is not None:
+            tr.stage(ctx.rank, "composite", t_render, t_done)
+        return owned
     tile = yield from direct_send_compose(ctx, partial, schedule)
     final = yield from assemble_final_image(ctx, tile, schedule, root=0)
     t_done = ctx.now

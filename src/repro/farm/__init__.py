@@ -34,8 +34,12 @@ from repro.farm.scenario import (
 )
 from repro.farm.service import RenderFarm
 from repro.farm.workload import SessionSpec, Workload
+from repro.fault.metrics import FarmFaultStats
+from repro.fault.plan import FarmFaults
 
 __all__ = [
+    "FarmFaults",
+    "FarmFaultStats",
     "NodeAllocator",
     "SizePolicy",
     "standard_size_for",

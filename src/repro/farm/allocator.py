@@ -123,6 +123,30 @@ class NodeAllocator:
         self._free[idx : idx + 1] = replacement
         return (start, start + size)
 
+    def reserve(self, interval: tuple[int, int]) -> None:
+        """Carve an *exact* interval out of the free pool (quarantine).
+
+        Unlike :meth:`alloc`, the interval is caller-chosen and need not
+        be size-aligned — fault handling uses it to fence off a crashed
+        node ``(v, v + 1)`` for repair.  Every node in the interval must
+        currently be free; :meth:`free` returns it like any allocation.
+        """
+        lo, hi = interval
+        if not (0 <= lo < hi <= self.total_nodes):
+            raise ConfigError(f"cannot reserve interval {interval!r}")
+        for idx, (flo, fhi) in enumerate(self._free):
+            if flo <= lo and hi <= fhi:
+                replacement = []
+                if lo > flo:
+                    replacement.append((flo, lo))
+                if hi < fhi:
+                    replacement.append((hi, fhi))
+                self._free[idx : idx + 1] = replacement
+                return
+        raise ConfigError(
+            f"cannot reserve {interval!r}: nodes are allocated or already reserved"
+        )
+
     def free(self, interval: tuple[int, int]) -> None:
         """Return an interval obtained from :meth:`alloc`; coalesces."""
         lo, hi = interval

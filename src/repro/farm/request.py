@@ -77,6 +77,12 @@ class RequestRecord:
     # ^ EASY-backfill reservation recorded the first time this request
     #   blocked at the head of the queue; the scheduler invariant is
     #   t_hold <= reserved_start (backfill never delays the head job).
+    #   A node crash can void a reservation, so fault runs treat it as
+    #   best-effort.
+    retries: int = 0  # times a node crash killed this job and it was requeued
+    t_first_fail: float | None = field(default=None, repr=False)
+    # ^ when the first crash killed this job; t_done - t_first_fail is
+    #   the request's contribution to farm MTTR.
 
     @property
     def queue_s(self) -> float:

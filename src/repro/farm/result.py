@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.farm.request import RequestRecord
 from repro.farm.workload import SessionSpec
+from repro.fault.metrics import FarmFaultStats
 from repro.obs.tracer import Tracer
 from repro.utils.units import fmt_time
 
@@ -37,6 +38,7 @@ class FarmResult:
     backfilled: int
     backend: str
     trace: Tracer | None = None
+    faults: FarmFaultStats | None = None  # present only on fault-injected runs
 
     # -- latency ------------------------------------------------------
 
@@ -125,9 +127,13 @@ class FarmResult:
                 ),
                 "cache_hits": sum(r.cache_hit for r in recs),
             }
+        fault_section = (
+            {"faults": self.faults.summary()} if self.faults is not None else {}
+        )
         return {
             "backend": self.backend,
             "requests": len(self.records),
+            **fault_section,
             "sessions": len(self.sessions),
             "makespan_s": self.makespan_s,
             "throughput_rps": self.throughput_rps,
@@ -173,6 +179,16 @@ class FarmResult:
             f"  caches       result {self.cache_hits}/{len(self.records)} hits "
             f"({100.0 * self.cache_hit_rate:.1f}%), plan {self.plan_hits} hits / "
             f"{self.plan_misses} misses",
+        ]
+        if self.faults is not None:
+            f = self.faults
+            lines.append(
+                f"  faults       {f.crashes} crashes, {f.jobs_killed} jobs killed "
+                f"({f.retries} requeues), availability "
+                f"{100.0 * f.availability:.2f}%, goodput {100.0 * f.goodput:.2f}%, "
+                f"MTTR {fmt_time(f.mttr_s)}"
+            )
+        lines += [
             "",
             f"  {'session':<12} {'kind':<9} {'req':>5} {'p50':>10} {'p95':>10} "
             f"{'SLO%':>7} {'hits':>5}",

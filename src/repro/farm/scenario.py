@@ -38,12 +38,21 @@ from repro.farm.backends import backend_for
 from repro.farm.result import FarmResult
 from repro.farm.service import RenderFarm
 from repro.farm.workload import SessionSpec, Workload
+from repro.fault.plan import FarmFaults
 from repro.machine.specs import BGP_ALCF
 from repro.obs.tracer import Tracer
 from repro.utils.errors import ConfigError
+from repro.utils.validation import check_spec_keys
 
 _SESSION_FIELDS = {f.name for f in dataclasses.fields(SessionSpec)}
 _POLICY_FIELDS = {f.name for f in dataclasses.fields(SizePolicy)}
+_FAULT_FIELDS = {f.name for f in dataclasses.fields(FarmFaults)}
+#: Keyword arguments each backend constructor accepts; validated here so
+#: a typoed option fails at spec load, not deep inside backend_for().
+_BACKEND_OPTIONS = {
+    "model": {"constants"},
+    "execute": {"grid", "world_cores", "image", "step", "seed"},
+}
 
 
 @dataclass(frozen=True)
@@ -60,6 +69,7 @@ class FarmScenario:
     backfill: bool = True
     size_policy: SizePolicy = field(default_factory=SizePolicy)
     backend_options: dict = field(default_factory=dict)
+    fault: FarmFaults | None = None
 
     def workload(self) -> Workload:
         return Workload(sessions=self.sessions, seed=self.seed)
@@ -75,6 +85,7 @@ class FarmScenario:
             alloc_overhead_s=self.alloc_overhead_s,
             slo_s=self.slo_s,
             tracer=tracer,
+            faults=self.fault,
         )
 
     def run(self, tracer: Tracer | None = None) -> FarmResult:
@@ -84,8 +95,7 @@ class FarmScenario:
 
     @classmethod
     def from_dict(cls, spec: dict) -> "FarmScenario":
-        if not isinstance(spec, dict):
-            raise ConfigError(f"scenario must be a JSON object, got {type(spec).__name__}")
+        check_spec_keys(spec, (f.name for f in dataclasses.fields(cls)), path="scenario")
         spec = dict(spec)
         raw_sessions = spec.pop("sessions", None)
         if not raw_sessions:
@@ -93,15 +103,18 @@ class FarmScenario:
         sessions = tuple(_session_from_dict(i, s) for i, s in enumerate(raw_sessions))
         policy = spec.pop("size_policy", None)
         if policy is not None:
-            unknown = set(policy) - _POLICY_FIELDS
-            if unknown:
-                raise ConfigError(f"unknown size_policy keys {sorted(unknown)}")
-            policy = SizePolicy(**policy)
-        known = {f.name for f in dataclasses.fields(cls)} - {"sessions", "size_policy"}
-        unknown = set(spec) - known
-        if unknown:
-            raise ConfigError(f"unknown scenario keys {sorted(unknown)}")
-        return cls(sessions=sessions, size_policy=policy or SizePolicy(), **spec)
+            policy = SizePolicy(**check_spec_keys(policy, _POLICY_FIELDS, path="size_policy"))
+        fault = spec.pop("fault", None)
+        if fault is not None:
+            fault = FarmFaults(**check_spec_keys(fault, _FAULT_FIELDS, path="fault"))
+        options = spec.get("backend_options")
+        if options is not None:
+            mode = spec.get("mode", "model")
+            allowed = _BACKEND_OPTIONS.get(mode, set())
+            check_spec_keys(options, allowed, path="backend_options")
+        return cls(
+            sessions=sessions, size_policy=policy or SizePolicy(), fault=fault, **spec
+        )
 
     @classmethod
     def from_file(cls, path: str) -> "FarmScenario":
@@ -114,15 +127,11 @@ class FarmScenario:
 
 
 def _session_from_dict(index: int, spec: dict) -> SessionSpec:
-    if not isinstance(spec, dict):
-        raise ConfigError(f"session #{index} must be a JSON object")
+    check_spec_keys(spec, _SESSION_FIELDS, path=f"sessions[{index}]")
     spec = dict(spec)
     spec.setdefault("name", f"session{index}")
     if "variables" in spec:
         spec["variables"] = tuple(spec["variables"])
-    unknown = set(spec) - _SESSION_FIELDS
-    if unknown:
-        raise ConfigError(f"session {spec['name']!r}: unknown keys {sorted(unknown)}")
     return SessionSpec(**spec)
 
 

@@ -24,6 +24,16 @@ trace and report exporters work unchanged, and span counts reconcile
 exactly with :class:`FarmResult` (one ``queue``+``serve`` per request,
 one ``alloc`` per *rendered* request; cache hits never boot a
 partition and their spans are zero-length).
+
+With :class:`~repro.fault.plan.FarmFaults` installed the farm also runs
+a Poisson node-failure process: crashes arrive at ``rate × total
+nodes``, each one quarantines the victim node for ``repair_s`` (an
+exact-interval :meth:`NodeAllocator.reserve`) and kills any job holding
+it — the job's partial work is charged to ``wasted_node_s`` and the
+request requeues at the back.  The whole process draws from
+``substream(seed, "farm", "fault")``, so a chaos sweep is replayable;
+with no faults configured none of this code runs and results are
+bitwise identical to the pre-fault farm.
 """
 
 from __future__ import annotations
@@ -38,11 +48,18 @@ from repro.farm.cache import FrameResultCache
 from repro.farm.request import FrameRequest, RequestRecord
 from repro.farm.result import FarmResult
 from repro.farm.workload import SessionSpec, Workload
+from repro.fault.metrics import FarmFaultStats
+from repro.fault.plan import FarmFaults
 from repro.machine.specs import BGP_ALCF
-from repro.obs.tracer import CAT_FARM, Tracer
+from repro.obs.tracer import CAT_FARM, CAT_FAULT, Tracer
 from repro.sim.engine import Engine
 from repro.sim.events import Future
 from repro.utils.errors import ConfigError
+from repro.utils.rng import substream
+
+#: Tracer lane for machine-level fault events (crashes, quarantine);
+#: session lanes are 0..len(sessions)-1, so -1 is the "machine" track.
+MACHINE_LANE = -1
 
 
 @dataclass
@@ -56,6 +73,7 @@ class _Job:
     done: Future
     t_end: float = 0.0
     backfilled: bool = field(default=False)
+    finish_ev: Any = field(default=None, repr=False)  # cancellable on node crash
 
     @property
     def request(self) -> FrameRequest:
@@ -76,6 +94,7 @@ class RenderFarm:
         alloc_overhead_s: float = 0.0,
         slo_s: float = 60.0,
         tracer: Tracer | None = None,
+        faults: FarmFaults | None = None,
     ):
         if alloc_overhead_s < 0:
             raise ConfigError(f"alloc_overhead_s must be >= 0, got {alloc_overhead_s}")
@@ -105,6 +124,18 @@ class RenderFarm:
         self._util_node_s = 0.0
         self._ran = False
 
+        # -- fault process state (inert unless faults.active) ---------
+        self.faults = faults if (faults is not None and faults.active) else None
+        self.fault_stats: FarmFaultStats | None = None
+        self._fault_rng = None
+        self._crash_ev = None
+        self._crashes = 0
+        self._killed_rids: set[str] = set()
+        self._requeues = 0
+        self._wasted_node_s = 0.0
+        self._quarantined: dict[int, tuple[float, Any]] = {}  # node -> (t0, release ev)
+        self._quarantined_node_s = 0.0
+
     # -- public -------------------------------------------------------
 
     def run(self) -> FarmResult:
@@ -120,7 +151,12 @@ class RenderFarm:
             )
             self.engine.spawn(program, name=f"session.{spec.name}")
         self.engine.spawn(self._scheduler(), name="farm.scheduler")
+        if self.faults is not None:
+            self._fault_rng = substream(self.workload.seed, "farm", "fault")
+            self._schedule_next_crash()
         makespan = self.engine.run()
+        if self.faults is not None:
+            self.fault_stats = self._build_fault_stats(makespan)
         return FarmResult(
             records=list(self.records),
             sessions=self.workload.sessions,
@@ -135,6 +171,7 @@ class RenderFarm:
             backfilled=self.backfilled,
             backend=self.backend.name,
             trace=self.tracer,
+            faults=self.fault_stats,
         )
 
     # -- session processes --------------------------------------------
@@ -191,7 +228,7 @@ class RenderFarm:
         rank = self.workload.session_index(record.request.session)
         self.tracer.span(rank, "queue", CAT_FARM, record.t_arrive, now, req=record.request.rid)
         self.tracer.span(rank, "serve", CAT_FARM, now, now, req=record.request.rid, cached=True)
-        self._completed += 1
+        self._note_completed()
         done.resolve(record)
         self._kick()
 
@@ -287,7 +324,7 @@ class RenderFarm:
         self._running[job.request.rid] = job
         self._util_node_s += job.nodes * (record.t_done - now)
         self.allocation_log.append((job.request.rid, interval, now, record.t_done))
-        self.engine.schedule_at(record.t_done, lambda j=job: self._finish(j))
+        job.finish_ev = self.engine.schedule_at(record.t_done, lambda j=job: self._finish(j))
 
     def _finish(self, job: _Job) -> None:
         record = job.record
@@ -305,6 +342,144 @@ class RenderFarm:
             req=rid, nodes=job.nodes, backfilled=job.backfilled,
         )
         self.result_cache.store(record.request.frame_key, job.payload)
-        self._completed += 1
+        self._note_completed()
         job.done.resolve(record)
         self._kick()
+
+    def _note_completed(self) -> None:
+        self._completed += 1
+        if self._completed >= self._total and self.faults is not None:
+            self._teardown_faults()
+
+    # -- the failure process ------------------------------------------
+    #
+    # Crashes are cancellable engine *events*, not a sleeping coroutine:
+    # the gap to the next crash is drawn when the previous one fires, so
+    # tearing the process down at completion is a single cancel and the
+    # RNG draw sequence is exactly one (gap, victim) pair per crash.
+
+    def _schedule_next_crash(self) -> None:
+        rate_hz = (
+            self.faults.crash_rate_per_node_hour * self.allocator.total_nodes / 3600.0
+        )
+        if rate_hz <= 0 or self._crashes >= self.faults.max_crashes:
+            self._crash_ev = None
+            return
+        gap = float(self._fault_rng.exponential(1.0 / rate_hz))
+        victim = int(self._fault_rng.integers(self.allocator.total_nodes))
+        self._crash_ev = self.engine.schedule(gap, lambda v=victim: self._crash_node(v))
+
+    def _crash_node(self, node: int) -> None:
+        self._crash_ev = None
+        if self._completed >= self._total:
+            return
+        self._crashes += 1
+        now = self.engine.now
+        self.tracer.span(MACHINE_LANE, f"crash node {node}", CAT_FAULT, now, now, node=node)
+        victim = next(
+            (
+                j
+                for j in self._running.values()
+                if j.record.interval[0] <= node < j.record.interval[1]
+            ),
+            None,
+        )
+        if victim is not None:
+            self._kill_job(victim, node, now)
+        self._quarantine_node(node, now)
+        self._schedule_next_crash()
+
+    def _kill_job(self, job: _Job, node: int, now: float) -> None:
+        record = job.record
+        rid = job.request.rid
+        job.finish_ev.cancel()
+        job.finish_ev = None
+        self._running.pop(rid)
+        self.allocator.free(record.interval)  # type: ignore[arg-type]
+        # Roll back the utilization credited for the unserved remainder
+        # and charge the partial work that just evaporated.
+        self._util_node_s -= job.nodes * (job.t_end - now)
+        self._wasted_node_s += job.nodes * (now - record.t_hold)
+        # Truncate this boot's allocation-log entry at the kill time so
+        # the no-overlap invariant keeps holding when the freed nodes
+        # are reallocated before the planned end.
+        for i in range(len(self.allocation_log) - 1, -1, -1):
+            rid_i, interval_i, t0_i, _ = self.allocation_log[i]
+            if rid_i == rid:
+                self.allocation_log[i] = (rid_i, interval_i, t0_i, now)
+                break
+        self._killed_rids.add(rid)
+        self._requeues += 1
+        record.retries += 1
+        if record.t_first_fail is None:
+            record.t_first_fail = now
+        record.interval = None
+        record.reserved_start = None  # void: the machine changed under it
+        job.backfilled = False
+        job.t_end = 0.0
+        rank = self.workload.session_index(record.request.session)
+        self.tracer.span(
+            rank, "killed", CAT_FAULT, record.t_hold, now,
+            req=rid, node=node, retry=record.retries,
+        )
+        self._queue.append(job)
+        self._kick()
+
+    def _quarantine_node(self, node: int, now: float) -> None:
+        if node in self._quarantined:
+            return  # repeat crash on a node already fenced off
+        try:
+            self.allocator.reserve((node, node + 1))
+        except ConfigError:
+            # The node is inside a partition whose job just finished in
+            # this same timestep ordering; skip rather than corrupt the
+            # free list.  (Running jobs were handled by _kill_job.)
+            return
+        ev = self.engine.schedule(
+            self.faults.repair_s, lambda n=node: self._release_node(n)
+        )
+        self._quarantined[node] = (now, ev)
+
+    def _release_node(self, node: int) -> None:
+        t0, _ = self._quarantined.pop(node)
+        now = self.engine.now
+        self.allocator.free((node, node + 1))
+        self._quarantined_node_s += now - t0
+        self.tracer.span(MACHINE_LANE, f"quarantine node {node}", CAT_FAULT, t0, now, node=node)
+        self._kick()
+
+    def _teardown_faults(self) -> None:
+        """All requests done: cancel pending fault events so the engine
+        stops at the true makespan, and close the quarantine ledger."""
+        now = self.engine.now
+        if self._crash_ev is not None:
+            self._crash_ev.cancel()
+            self._crash_ev = None
+        for node, (t0, ev) in sorted(self._quarantined.items()):
+            ev.cancel()
+            self.allocator.free((node, node + 1))
+            self._quarantined_node_s += now - t0
+            self.tracer.span(
+                MACHINE_LANE, f"quarantine node {node}", CAT_FAULT, t0, now, node=node
+            )
+        self._quarantined.clear()
+
+    def _build_fault_stats(self, makespan: float) -> FarmFaultStats:
+        stats = FarmFaultStats(
+            crashes=self._crashes,
+            jobs_killed=len(self._killed_rids),
+            retries=self._requeues,
+            quarantined_node_s=self._quarantined_node_s,
+            wasted_node_s=self._wasted_node_s,
+            mttr_samples=[
+                r.t_done - r.t_first_fail
+                for r in self.records
+                if r.t_first_fail is not None
+            ],
+        )
+        denom = self.allocator.total_nodes * makespan
+        if denom > 0:
+            stats.availability = 1.0 - self._quarantined_node_s / denom
+        if self._util_node_s > 0:
+            stats.goodput = 1.0 - self._wasted_node_s / self._util_node_s
+        return stats

@@ -27,13 +27,13 @@ derives its RNG stream from ``(seed, session name)``.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.farm.request import FrameRequest
 from repro.utils.errors import ConfigError
+from repro.utils.rng import substream
 
 SESSION_KINDS = ("browse", "orbit", "multivar")
 ARRIVALS = ("open", "closed")
@@ -109,10 +109,9 @@ class SessionSpec:
         return self._rng(seed, "think").exponential(self.think_s, size=self.requests)
 
     def _rng(self, seed: int, stream: str) -> np.random.Generator:
-        # zlib.crc32, not hash(): str hashing is salted per process and
-        # would make arrival streams differ between identical runs.
-        tag = zlib.crc32(f"{int(seed)}:{self.name}:{stream}".encode())
-        return np.random.default_rng((int(seed) << 32) ^ tag)
+        # substream reproduces the historical crc32 derivation exactly,
+        # so committed workload traces are unchanged.
+        return substream(seed, self.name, stream)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,119 @@
+"""Compositor failover: re-partition dead tiles among survivors.
+
+Pure geometry — no engine, no ranks, no state.  Given a compositing
+schedule and the final set of dead ranks, :func:`failover_assignments`
+deterministically splits each dead compositor's tile into horizontal
+strips and hands them to surviving compositors.  Every rank computes
+the same assignment locally from the same inputs (schedule + dead set),
+so no coordination messages are needed — the same trick the Distributed
+FrameBuffer uses for dynamic tile ownership.
+
+The conservation invariant (pinned by property test): for each dead
+tile, the assigned strips partition the tile's rectangle exactly — the
+union is the tile and no two strips overlap — so the recovered frame
+covers precisely the pixels the dead compositors owned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+Rect = tuple[int, int, int, int]  # (x0, y0, w, h), same as compositing.tiles
+
+
+def split_rect_rows(rect: Rect, k: int) -> list[Rect]:
+    """Partition ``rect`` into at most ``k`` horizontal strips.
+
+    Strip heights differ by at most one row; degenerate rects (zero
+    height or width) produce no strips.
+    """
+    x0, y0, w, h = rect
+    if w <= 0 or h <= 0 or k <= 0:
+        return []
+    k = min(k, h)
+    base, extra = divmod(h, k)
+    strips: list[Rect] = []
+    y = y0
+    for i in range(k):
+        hh = base + (1 if i < extra else 0)
+        strips.append((x0, y, w, hh))
+        y += hh
+    return strips
+
+
+def failover_assignments(
+    schedule, dead: Iterable[int]
+) -> dict[int, list[tuple[int, Rect]]]:
+    """Map surviving compositor rank -> [(dead tile, adopted strip), ...].
+
+    Each dead tile is split into ``min(survivors, tile height)`` strips
+    assigned round-robin starting at ``tile % len(survivors)`` — the
+    offset spreads consecutive dead tiles across different survivors so
+    one rank doesn't absorb a whole crashed midplane.  Deterministic in
+    (schedule, dead set); returns ``{}`` when every compositor died
+    (the frame is unrecoverable and the caller reports total loss).
+    """
+    dead_set = frozenset(int(d) for d in dead)
+    survivors = [r for r in range(schedule.num_compositors) if r not in dead_set]
+    out: dict[int, list[tuple[int, Rect]]] = {}
+    if not survivors:
+        return out
+    n = len(survivors)
+    for tile in sorted(d for d in dead_set if d < schedule.num_compositors):
+        rect = schedule.tiles.tile(tile)
+        strips = split_rect_rows(rect, n)
+        offset = tile % n
+        for i, strip in enumerate(strips):
+            owner = survivors[(offset + i) % n]
+            out.setdefault(owner, []).append((tile, strip))
+    return out
+
+
+def coverage_rects(
+    schedule, dead: Iterable[int], assignments: Mapping[int, list[tuple[int, Rect]]]
+) -> list[Rect]:
+    """All image rects owned after failover: surviving tiles + strips.
+
+    Used by tests and the acceptance check to assert exact coverage —
+    the union must equal the full image with no overlaps.
+    """
+    dead_set = frozenset(int(d) for d in dead)
+    rects = [
+        schedule.tiles.tile(t)
+        for t in range(schedule.num_compositors)
+        if t not in dead_set
+    ]
+    for strips in assignments.values():
+        rects.extend(rect for _tile, rect in strips)
+    return rects
+
+
+def check_exact_cover(rects: Iterable[Rect], width: int, height: int) -> None:
+    """Raise ``AssertionError`` unless ``rects`` tile width x height exactly."""
+    area = 0
+    for x0, y0, w, h in rects:
+        assert 0 <= x0 and 0 <= y0 and x0 + w <= width and y0 + h <= height, (
+            f"rect ({x0}, {y0}, {w}, {h}) outside {width}x{height}"
+        )
+        area += w * h
+    assert area == width * height, (
+        f"covered area {area} != image area {width * height}"
+    )
+    # Equal total area + no out-of-bounds means exact cover iff no
+    # overlaps; check pairwise via a scanline per row band to stay
+    # cheap at thousands of rects.
+    events: list[tuple[int, int, int, int]] = []  # (y0, y1, x0, x1)
+    for x0, y0, w, h in rects:
+        if w > 0 and h > 0:
+            events.append((y0, y0 + h, x0, x0 + w))
+    ys = sorted({y for e in events for y in (e[0], e[1])})
+    for lo, hi in zip(ys, ys[1:]):
+        spans = sorted(
+            (x0, x1) for (y0, y1, x0, x1) in events if y0 <= lo and hi <= y1
+        )
+        cursor = None
+        for x0, x1 in spans:
+            assert cursor is None or x0 >= cursor, (
+                f"overlapping rects in rows [{lo}, {hi})"
+            )
+            cursor = x1 if cursor is None or x1 > cursor else cursor

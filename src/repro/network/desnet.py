@@ -17,6 +17,8 @@ analytic model's job, at scales the DES does not run at.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.machine.mapping import RankMapping
@@ -50,6 +52,9 @@ class DESNetwork:
         self.tracer = tracer  # optional repro.obs.Tracer
         self._inject_free = np.zeros(topology.num_nodes, dtype=np.float64)
         self._eject_free = np.zeros(topology.num_nodes, dtype=np.float64)
+        # Optional FaultInjector; consulted only when its network
+        # features (link windows, wire drops) are active.
+        self.fault = None
         # Instrumentation for tests and reports.
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -58,6 +63,9 @@ class DESNetwork:
         """Start a transfer now; the future resolves at delivery time."""
         if nbytes < 0:
             raise CommunicationError(f"negative message size {nbytes}")
+        fault = self.fault
+        if fault is not None and fault.net_active:
+            return self._transfer_faulty(src_rank, dst_rank, nbytes, fault)
         now = self.engine.now
         src_node = int(self.mapping.node_of(src_rank))
         dst_node = int(self.mapping.node_of(dst_rank))
@@ -94,6 +102,56 @@ class DESNetwork:
         self.engine.schedule_at(deliver, fut.resolve)
         return fut
 
+    def _transfer_faulty(self, src_rank, dst_rank, nbytes, fault) -> Future:
+        """The :meth:`transfer` timeline with fault hooks applied.
+
+        Link windows divide the wire bandwidth (the message occupies
+        both ports longer), and a drop decision resolves the future
+        with the injector's ``DROPPED`` sentinel at what would have
+        been delivery time — the sender's reliability layer sees the
+        loss only when the timeout/ack would have fired, as on a real
+        wire.  Kept out of :meth:`transfer` so the no-fault hot path
+        pays one predicate, not per-message branching.
+        """
+        now = self.engine.now
+        src_node = int(self.mapping.node_of(src_rank))
+        dst_node = int(self.mapping.node_of(dst_rank))
+        fut = Future(name=f"xfer {src_rank}->{dst_rank} {nbytes}B")
+        self.messages_sent += 1
+        self.bytes_sent += int(nbytes)
+        dropped = fault.msg_faults and fault.drop_decision()
+        resolve = partial(fut.resolve, fault.DROPPED) if dropped else fut.resolve
+
+        tracer = self.tracer
+        if src_node == dst_node:
+            deliver = now + self.link.sw_overhead_s + self.recv_overhead_s
+            if tracer is not None and tracer.enabled:
+                self._trace(tracer, src_rank, dst_rank, src_node, dst_node,
+                            nbytes, 0, now, deliver)
+            self.engine.schedule_at(deliver, resolve)
+            return fut
+
+        factor = 1.0
+        if fault.has_links:
+            factor = fault.link_factor(src_node, dst_node, now)
+        start = max(now, self._inject_free[src_node])
+        wire = 0.0
+        if nbytes:
+            bw = float(self.link.effective_bandwidth(max(float(nbytes), 1.0)))
+            wire = nbytes / (bw * factor)
+        inject_busy = self.link.sw_overhead_s + wire
+        self._inject_free[src_node] = start + inject_busy
+        hops = int(self.topology.hop_row(src_node)[dst_node])
+        arrive = start + inject_busy + hops * self.link.hop_latency_s
+        eject_busy = self.recv_overhead_s + wire
+        deliver = max(arrive - wire, self._eject_free[dst_node]) + eject_busy
+        self._eject_free[dst_node] = deliver
+        if tracer is not None and tracer.enabled:
+            self._trace(tracer, src_rank, dst_rank, src_node, dst_node,
+                        nbytes, hops, now, deliver)
+        self.engine.schedule_at(deliver, resolve)
+        return fut
+
     def transfer_many(
         self, src_rank: int, requests: list[tuple[int, int]]
     ) -> list[Future]:
@@ -112,6 +170,12 @@ class DESNetwork:
         n = len(requests)
         if n == 0:
             return []
+        fault = self.fault
+        if fault is not None and fault.net_active:
+            # Per-message fault decisions must happen in request order;
+            # fall back to the scalar path so the counting RNG sees the
+            # same draw sequence as individual sends.
+            return [self.transfer(src_rank, d, b) for d, b in requests]
         if n == 1:
             dst, nbytes = requests[0]
             return [self.transfer(src_rank, dst, nbytes)]

@@ -11,6 +11,8 @@ from repro.obs.tracer import (
     CAT_COLL,
     CAT_COMM,
     CAT_COMPOSE,
+    CAT_FARM,
+    CAT_FAULT,
     CAT_IO,
     CAT_PROC,
     CAT_STAGE,
@@ -33,6 +35,8 @@ __all__ = [
     "CAT_COMM",
     "CAT_COLL",
     "CAT_COMPOSE",
+    "CAT_FARM",
+    "CAT_FAULT",
     "CAT_IO",
     "CAT_PROC",
     "chrome_trace",

@@ -35,6 +35,7 @@ CAT_COMPOSE = "compose"  # compositing-specific activity (recv waits)
 CAT_IO = "io"  # bridged physical I/O accesses
 CAT_PROC = "proc"  # engine process lifetimes
 CAT_FARM = "farm"  # rendering-service request phases (queue/alloc/serve)
+CAT_FAULT = "fault"  # injected failures + recovery actions (crash/retry/failover)
 
 #: The frame stages, in pipeline order (Sec. III-B).
 STAGES = ("io", "render", "composite")

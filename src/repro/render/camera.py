@@ -67,6 +67,26 @@ class Camera:
         self._half_w = self._half_h * self.width / self.height
         self._plan_key: tuple | None = None
 
+    def scaled(self, factor: float) -> "Camera":
+        """The same view rendered at ``factor`` times the resolution.
+
+        Used by the degraded-quality fallback: ``scaled(0.5)`` halves
+        both image dimensions (floored, min 1 pixel) while preserving
+        the eye, view basis, field of view, and projection mode.
+        """
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        return Camera(
+            tuple(self.eye),
+            tuple(self.center),
+            up=tuple(self.up),
+            fov_deg=self.fov_deg,
+            width=max(1, int(self.width * factor)),
+            height=max(1, int(self.height * factor)),
+            orthographic=self.orthographic,
+            ortho_height=(2.0 * self._half_h if self.orthographic else None),
+        )
+
     @classmethod
     def looking_at_volume(
         cls,

@@ -81,8 +81,33 @@ class Process:
         """Future-resolution entry point: requeue at the current time."""
         self.engine._resume(self, value)
 
+    def kill(self) -> None:
+        """Terminate the process from outside (fault injection).
+
+        The generator is closed where it stands, the process counts as
+        finished, and its ``done`` future resolves with ``None`` if
+        still pending.  Stale wakeups (a scheduled delay or a future
+        the process was parked on) are absorbed by the finished guard
+        in :meth:`_step`.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        self.waiting_on = "killed"
+        self.gen.close()
+        eng = self.engine
+        if eng.tracer is not None and eng.tracer.enabled:
+            eng.tracer.span(
+                -1, self.name, "proc", self.spawned_at, eng.now,
+                steps=self.steps, killed=True,
+            )
+        if not self.done.done:
+            self.done.resolve(None)
+
     def _step(self, send_value: Any) -> None:
         """Resume the generator, then dispatch whatever it yields next."""
+        if self._finished:
+            return  # killed while a wakeup was already queued
         self.steps += 1
         try:
             yielded = self.gen.send(send_value)

@@ -37,18 +37,34 @@ class Access:
 
 @dataclass
 class AccessLog:
-    """Append-only record of physical accesses, with summary stats."""
+    """Append-only record of physical accesses, with summary stats.
+
+    ``stragglers`` annotates ranks whose reads were held back by a slow
+    storage server (fault injection): rank -> accumulated extra
+    seconds.  The delays are simulated-time, not physical accesses, so
+    they ride beside the access list rather than in it.
+    """
 
     accesses: list[Access] = field(default_factory=list)
+    stragglers: dict[int, float] = field(default_factory=dict)
 
     def record(self, offset: int, length: int, kind: str = "read", actor: int = -1) -> None:
         self.accesses.append(Access(int(offset), int(length), kind, actor))
 
+    def record_straggler(self, rank: int, delay_s: float) -> None:
+        """Annotate that ``rank``'s read was delayed ``delay_s`` seconds."""
+        if delay_s < 0:
+            raise StorageError(f"negative straggler delay {delay_s!r}")
+        self.stragglers[int(rank)] = self.stragglers.get(int(rank), 0.0) + float(delay_s)
+
     def extend(self, other: "AccessLog") -> None:
         self.accesses.extend(other.accesses)
+        for rank, delay in other.stragglers.items():
+            self.stragglers[rank] = self.stragglers.get(rank, 0.0) + delay
 
     def clear(self) -> None:
         self.accesses.clear()
+        self.stragglers.clear()
 
     # -- summaries --------------------------------------------------------
 
@@ -98,11 +114,15 @@ class AccessLog:
         return useful_bytes / phys if phys else 0.0
 
     def summary(self) -> str:
-        return (
+        base = (
             f"{self.count} accesses, {fmt_bytes(self.total_bytes)} physical, "
             f"mean access {fmt_bytes(self.mean_access_bytes)}, "
             f"{len(self.meta_accesses())} metadata ops"
         )
+        if self.stragglers:
+            worst = max(self.stragglers.values())
+            base += f", {len(self.stragglers)} straggling ranks (worst +{worst:.3g}s)"
+        return base
 
     # -- trace bridging ---------------------------------------------------
 

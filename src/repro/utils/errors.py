@@ -44,3 +44,22 @@ class StorageError(ReproError):
 
 class CommunicationError(ReproError):
     """Misuse of the simulated MPI layer (bad rank, mismatched buffers...)."""
+
+
+class FaultError(ReproError):
+    """A fault plan or fault-injection configuration is invalid."""
+
+
+class RankFailed(CommunicationError):
+    """A simulated rank tried to communicate after its node crashed.
+
+    Raised by the fault-injection layer when a dead rank posts a send
+    or receive — the simulated analogue of the MPI runtime killing the
+    job on member failure.  Carries the rank and the crash time.
+    """
+
+    def __init__(self, rank: int, crash_time_s: float | None = None):
+        self.rank = int(rank)
+        self.crash_time_s = crash_time_s
+        when = "" if crash_time_s is None else f" (crashed at t={crash_time_s:.6f}s)"
+        super().__init__(f"rank {rank} has failed{when}")

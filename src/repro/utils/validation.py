@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.utils.errors import ConfigError
 
@@ -28,6 +28,32 @@ def check_power_of_two(name: str, value: int) -> None:
     """Raise :class:`ConfigError` unless ``value`` is a power of two."""
     if not is_power_of_two(value):
         raise ConfigError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_spec_keys(spec: object, allowed: Iterable[str], path: str = "") -> dict:
+    """Reject non-dict specs and unknown keys, naming the full key path.
+
+    ``path`` is the location of ``spec`` inside the enclosing document
+    (e.g. ``"sessions[2]"``), so the error message points at exactly
+    the offending entry — ``unknown key 'sessions[2].rate_hzz'`` —
+    instead of silently ignoring a typo.  Returns ``spec`` unchanged so
+    callers can validate-and-bind in one expression.
+    """
+    where = path or "spec"
+    if not isinstance(spec, dict):
+        raise ConfigError(
+            f"{where} must be a JSON object, got {type(spec).__name__}"
+        )
+    allowed_set = set(allowed)
+    unknown = sorted(k for k in spec if k not in allowed_set)
+    if unknown:
+        paths = [f"{path}.{k}" if path else str(k) for k in unknown]
+        plural = "s" if len(paths) > 1 else ""
+        shown = ", ".join(repr(p) for p in paths)
+        raise ConfigError(
+            f"unknown key{plural} {shown}; allowed keys: {sorted(allowed_set)}"
+        )
+    return spec
 
 
 def check_shape3(name: str, shape: Sequence[int]) -> tuple[int, int, int]:

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Any
 
 from repro.network.desnet import DESNetwork
 from repro.sim.events import Future
-from repro.utils.errors import CommunicationError
+from repro.utils.errors import CommunicationError, RankFailed
 from repro.vmpi.payload import payload_nbytes, snapshot
 
 ANY_SOURCE = -1
@@ -63,13 +64,18 @@ class Request:
 
 
 class _Envelope:
-    __slots__ = ("source", "tag", "payload", "nbytes")
+    __slots__ = ("source", "tag", "payload", "nbytes", "seq")
 
-    def __init__(self, source: int, tag: int, payload: Any, nbytes: int):
+    def __init__(
+        self, source: int, tag: int, payload: Any, nbytes: int, seq: int | None = None
+    ):
         self.source = source
         self.tag = tag
         self.payload = payload
         self.nbytes = nbytes
+        # Per-(source, dest) sequence number; assigned only when
+        # message faults are active (drop retry / dup suppression).
+        self.seq = seq
 
 
 class _PendingRecv:
@@ -88,16 +94,22 @@ class _Delivery:
     allocation site in a compositing phase.
     """
 
-    __slots__ = ("board", "dest", "env", "done")
+    __slots__ = ("board", "dest", "env", "done", "attempt")
 
     def __init__(self, board: "MessageBoard", dest: int, env: _Envelope, done: Future):
         self.board = board
         self.dest = dest
         self.env = env
         self.done = done
+        self.attempt = 0  # retransmission count when faults are active
 
-    def __call__(self, _value: Any) -> None:
-        self.board._deliver(self.dest, self.env)
+    def __call__(self, value: Any) -> None:
+        board = self.board
+        fault = board.fault
+        if fault is not None and fault.active:
+            board._deliver_faulty(self, value)
+            return
+        board._deliver(self.dest, self.env)
         self.done.resolve(None)
 
 
@@ -113,6 +125,14 @@ class MessageBoard:
         self._pending: list[dict[int, deque]] = [{} for _ in range(nprocs)]
         self._stamp = 0  # shared arrival/posting order counter
         self._unreceived = 0  # live count of parked envelopes
+        # Optional FaultInjector plus the reliability-layer state it
+        # needs: per-(src, dst) send sequence numbers, the next
+        # deliverable sequence per pair, and out-of-order holdback.
+        self.fault = None
+        self._pair_seq: dict[tuple[int, int], int] = {}
+        self._next_deliver: dict[tuple[int, int], int] = {}
+        self._holdback: dict[tuple[int, int], dict[int, _Envelope]] = {}
+        self.lost_messages = 0  # discarded at a dead endpoint
 
     # -- sends ----------------------------------------------------------
 
@@ -122,11 +142,44 @@ class MessageBoard:
         self._check_rank(source, "source")
         if tag < 0:
             raise CommunicationError(f"send tag must be >= 0, got {tag}")
+        fault = self.fault
+        if fault is not None and fault.active:
+            return self._post_send_faulty(source, dest, tag, payload, fault)
         body = snapshot(payload)
         nbytes = payload_nbytes(body)
         wire = self.network.transfer(source, dest, nbytes)
         done = Future(name="send")
         wire.add_done_callback(_Delivery(self, dest, _Envelope(source, tag, body, nbytes), done))
+        return Request(done, kind="isend")
+
+    def _post_send_faulty(
+        self, source: int, dest: int, tag: int, payload: Any, fault
+    ) -> Request:
+        """:meth:`post_send` under an active fault injector.
+
+        Assigns per-pair sequence numbers when message faults are on
+        (the receiver releases envelopes in sequence order, so drop
+        retries and duplicates never reorder a pair's stream), and may
+        launch a duplicate wire packet of the same envelope.
+        """
+        if fault.is_dead(source):
+            raise RankFailed(source, fault.crash_time_of(source))
+        body = snapshot(payload)
+        nbytes = payload_nbytes(body)
+        seq = None
+        if fault.msg_faults:
+            key = (source, dest)
+            seq = self._pair_seq.get(key, 0)
+            self._pair_seq[key] = seq + 1
+        env = _Envelope(source, tag, body, nbytes, seq)
+        done = Future(name="send")
+        wire = self.network.transfer(source, dest, nbytes)
+        wire.add_done_callback(_Delivery(self, dest, env, done))
+        if fault.msg_faults and fault.dup_decision():
+            # Duplicate packet: same envelope (same seq) on its own
+            # wire slot; the receiver's sequence filter discards it.
+            dup = self.network.transfer(source, dest, nbytes)
+            dup.add_done_callback(_Delivery(self, dest, env, Future(name="send-dup")))
         return Request(done, kind="isend")
 
     def post_send_many(
@@ -143,6 +196,17 @@ class MessageBoard:
             raise CommunicationError(f"send tag must be >= 0, got {tag}")
         for dest, _payload in dest_payloads:
             self._check_rank(dest, "dest")
+        fault = self.fault
+        if fault is not None and fault.active:
+            if fault.is_dead(source):
+                raise RankFailed(source, fault.crash_time_of(source))
+            if fault.msg_faults:
+                # Sequence numbers and drop/dup draws must follow list
+                # order; take the scalar path per message.
+                return [self.post_send(source, d, tag, p) for d, p in dest_payloads]
+            # Crash/link faults only: the batch wire path is safe (the
+            # network already falls back to scalar under link windows,
+            # and dead endpoints are handled at delivery).
         bodies = [snapshot(p) for _d, p in dest_payloads]
         sizes = [payload_nbytes(b) for b in bodies]
         wires = self.network.transfer_many(
@@ -247,6 +311,121 @@ class MessageBoard:
             dq = box[env.tag] = deque()
         dq.append((stamp, env))
         self._unreceived += 1
+
+    # -- fault handling ---------------------------------------------------
+
+    def _deliver_faulty(self, delivery: _Delivery, value: Any) -> None:
+        """Wire completion under an active fault injector.
+
+        Three outcomes: a dropped packet is retransmitted after
+        exponential backoff (delivery is reliable, just late); a packet
+        whose source or destination has died is discarded and counted
+        lost (the crash tears down the NIC, so in-flight traffic dies
+        with the node — which also makes post-quiescence ``probe``
+        results stable); otherwise the envelope lands, in sequence
+        order when message faults are on.
+        """
+        fault = self.fault
+        env = delivery.env
+        dest = delivery.dest
+        if value is fault.DROPPED:
+            attempt = delivery.attempt
+            delivery.attempt = attempt + 1
+            fault.note_retry()
+            delay = fault.retry.delay(attempt)
+            self.network.engine.schedule(delay, partial(self._retransmit, delivery))
+            return
+        if fault.is_dead(dest) or fault.is_dead(env.source):
+            self.lost_messages += 1
+            fault.note_lost()
+            if not delivery.done.done:
+                delivery.done.resolve(None)
+            return
+        if env.seq is not None:
+            self._deliver_ordered(dest, env)
+        else:
+            self._deliver(dest, env)
+        if not delivery.done.done:
+            delivery.done.resolve(None)
+
+    def _retransmit(self, delivery: _Delivery) -> None:
+        fault = self.fault
+        env = delivery.env
+        if fault is None or fault.is_dead(env.source) or fault.is_dead(delivery.dest):
+            self.lost_messages += 1
+            if fault is not None:
+                fault.note_lost()
+            if not delivery.done.done:
+                delivery.done.resolve(None)
+            return
+        wire = self.network.transfer(env.source, delivery.dest, env.nbytes)
+        wire.add_done_callback(delivery)
+
+    def _deliver_ordered(self, dest: int, env: _Envelope) -> None:
+        """Release the pair's stream in send order; discard duplicates.
+
+        A retried drop can overtake a later send, and a duplicate can
+        arrive twice; the per-(source, dest) sequence gate holds early
+        arrivals back and drops already-delivered sequence numbers, so
+        the application observes exactly the posted order.
+        """
+        key = (env.source, dest)
+        nxt = self._next_deliver.get(key, 0)
+        seq = env.seq
+        if seq < nxt:
+            return  # duplicate of an already-delivered message
+        if seq > nxt:
+            self._holdback.setdefault(key, {})[seq] = env
+            return
+        self._deliver(dest, env)
+        nxt += 1
+        hb = self._holdback.get(key)
+        if hb:
+            while nxt in hb:
+                self._deliver(dest, hb.pop(nxt))
+                nxt += 1
+        self._next_deliver[key] = nxt
+
+    def probe(self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-destructive: has a matching envelope already arrived?
+
+        Used by failover code to distinguish "the dead sender's piece
+        landed before the crash" from "lost with the sender" without
+        blocking on a message that will never come.
+        """
+        self._check_rank(rank, "rank")
+        box = self._mailbox[rank]
+        if tag != ANY_TAG:
+            dq = box.get(tag)
+            if not dq:
+                return False
+            if source == ANY_SOURCE:
+                return True
+            return any(e.source == source for _stamp, e in dq)
+        for dq in box.values():
+            for _stamp, e in dq:
+                if source == ANY_SOURCE or e.source == source:
+                    return True
+        return False
+
+    def purge_ranks(self, ranks) -> int:
+        """Drop a dead rank's parked envelopes and pending receives.
+
+        Returns the number of discarded envelopes so the fault
+        accounting can count them lost; purged envelopes no longer
+        appear in the leak check (their receiver cannot receive).
+        """
+        purged = 0
+        for rank in ranks:
+            self._check_rank(rank, "rank")
+            box = self._mailbox[rank]
+            n = sum(len(dq) for dq in box.values())
+            purged += n
+            self._unreceived -= n
+            box.clear()
+            self._pending[rank].clear()
+        self.lost_messages += purged
+        return purged
 
     # -- introspection ----------------------------------------------------
 

@@ -32,6 +32,7 @@ class RankContext:
         self.board = board
         self.engine = engine
         self.tracer = tracer  # optional repro.obs.Tracer
+        self.fault = None  # optional FaultInjector, set by MPIWorld.run
         self._coll_seq = 0
         self.compute_seconds = 0.0  # accumulated local compute time
 
@@ -68,6 +69,10 @@ class RankContext:
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Non-blocking receive; the request future yields (payload, Status)."""
         return self.board.post_recv(self.rank, source, tag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-destructive check for an already-arrived envelope."""
+        return self.board.probe(self.rank, source, tag)
 
     def send(self, data: Any, dest: int, tag: int = 0) -> Generator:
         """Blocking send: returns when the message is delivered."""

@@ -18,13 +18,19 @@ from repro.vmpi.context import RankContext
 
 @dataclass
 class WorldResult:
-    """Outcome of one SPMD run: per-rank return values plus timing."""
+    """Outcome of one SPMD run: per-rank return values plus timing.
+
+    ``fault`` is the injector's :class:`~repro.fault.metrics.
+    FaultReport` when a non-empty fault plan was installed, else None;
+    a killed rank's entry in ``values`` is None.
+    """
 
     values: list[Any]
     elapsed_s: float
     messages: int
     bytes_sent: int
     compute_seconds: list[float] = field(default_factory=list)
+    fault: Any = None
 
     def __iter__(self):
         return iter(self.values)
@@ -85,9 +91,18 @@ class MPIWorld:
         *args: Any,
         ranks: Sequence[int] | None = None,
         check_leaks: bool = True,
+        fault: Any = None,
         **kwargs: Any,
     ) -> WorldResult:
-        """Run ``program`` SPMD on every rank (or the given subset)."""
+        """Run ``program`` SPMD on every rank (or the given subset).
+
+        ``fault`` may be a :class:`~repro.fault.FaultPlan` or an
+        already-built :class:`~repro.fault.FaultInjector`; it is wired
+        into the engine, network, and message board for this run.  An
+        *empty* plan is still installed (so its cost is measurable) but
+        every hook short-circuits: results are bitwise identical to
+        ``fault=None``.
+        """
         engine = Engine(tracer=self.tracer)
         network = DESNetwork(
             engine, self.topology, self.mapping, self.link, self.recv_overhead_s,
@@ -96,6 +111,18 @@ class MPIWorld:
         board = MessageBoard(network, self.nprocs)
         self.last_network = network
         self.last_board = board
+        injector = None
+        if fault is not None:
+            from repro.fault.inject import FaultInjector
+
+            injector = (
+                fault
+                if isinstance(fault, FaultInjector)
+                else FaultInjector(fault, tracer=self.tracer)
+            )
+            board.fault = injector
+            if injector.net_active:
+                network.fault = injector
         which = list(range(self.nprocs)) if ranks is None else list(ranks)
         ctxs = [
             RankContext(r, self.nprocs, board, engine, tracer=self.tracer)
@@ -105,7 +132,21 @@ class MPIWorld:
             engine.spawn(program(ctx, *args, **kwargs), name=f"rank{ctx.rank}")
             for ctx in ctxs
         ]
+        if injector is not None:
+            for ctx in ctxs:
+                ctx.fault = injector
+            injector.arm(
+                engine,
+                mapping=self.mapping,
+                procs={ctx.rank: p for ctx, p in zip(ctxs, procs)},
+                board=board,
+            )
         elapsed = engine.run()
+        report = None
+        if injector is not None:
+            report = injector.finish(
+                elapsed, nranks=len(procs), total_messages=network.messages_sent
+            )
         if check_leaks and board.unreceived_count():
             leaked = board.unreceived_messages()
             shown = ", ".join(
@@ -122,4 +163,5 @@ class MPIWorld:
             messages=network.messages_sent,
             bytes_sent=network.bytes_sent,
             compute_seconds=[c.compute_seconds for c in ctxs],
+            fault=report,
         )

@@ -1,0 +1,131 @@
+"""Node-failure injection in the render farm: kills, requeues, quarantine.
+
+Pinned properties:
+
+* every request still completes (retry covers job failure);
+* the run is deterministic in (workload seed, fault config);
+* the allocation log keeps the no-overlap invariant even when kills
+  truncate entries and quarantine reserves nodes out from under the
+  scheduler;
+* the node-second ledger stays consistent (goodput/availability in
+  (0, 1], wasted + useful node-seconds reconcile).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.farm import (
+    FarmFaults,
+    RenderFarm,
+    SessionSpec,
+    SizePolicy,
+    Workload,
+    selftest_scenario,
+)
+from repro.obs.tracer import CAT_FAULT
+
+from test_service import StubBackend, assert_no_overlap
+
+SESSIONS = (
+    SessionSpec(name="a", kind="browse", arrival="open", requests=10, rate_hz=0.2),
+    SessionSpec(name="b", kind="orbit", arrival="open", requests=10, rate_hz=0.2),
+    SessionSpec(name="c", kind="browse", arrival="open", requests=8, rate_hz=0.1),
+)
+
+# Machine-level rate ~= 2/node-h x 64 nodes = 128 crashes/h: a handful
+# over the few-minute run — enough to kill jobs, not enough to livelock.
+FAULTS = FarmFaults(crash_rate_per_node_hour=2.0, repair_s=5.0)
+
+
+def run_faulty_farm(*, faults=FAULTS, seed=11, total_nodes=64, seconds=6.0):
+    farm = RenderFarm(
+        Workload(sessions=SESSIONS, seed=seed),
+        StubBackend(seconds),
+        total_nodes=total_nodes,
+        size_policy=SizePolicy(min_nodes=8, max_nodes=32),
+        result_cache_entries=0,
+        faults=faults,
+    )
+    return farm, farm.run()
+
+
+class TestCompletion:
+    def test_every_request_completes_despite_crashes(self):
+        farm, result = run_faulty_farm()
+        assert result.faults is not None
+        assert result.faults.crashes > 0  # the injection actually fired
+        assert len(result.records) == sum(s.requests for s in SESSIONS)
+        for rec in result.records:
+            assert rec.t_done is not None
+        killed = [r for r in result.records if r.retries > 0]
+        assert len(killed) == result.faults.jobs_killed > 0
+        for rec in killed:
+            assert rec.t_first_fail is not None
+            assert rec.t_done >= rec.t_first_fail
+
+    def test_determinism(self):
+        _, a = run_faulty_farm()
+        _, b = run_faulty_farm()
+        assert a.makespan_s == b.makespan_s
+        assert a.faults.summary() == b.faults.summary()
+        assert [
+            (r.t_arrive, r.t_serve, r.t_done, r.retries) for r in a.records
+        ] == [(r.t_arrive, r.t_serve, r.t_done, r.retries) for r in b.records]
+
+    def test_different_seed_different_crash_history(self):
+        _, a = run_faulty_farm(seed=11)
+        _, b = run_faulty_farm(seed=12)
+        assert a.faults.summary() != b.faults.summary()
+
+
+class TestSchedulerInvariants:
+    def test_no_overlap_with_kill_truncation_and_quarantine(self):
+        farm, _ = run_faulty_farm()
+        assert_no_overlap(farm)
+
+    def test_killed_entries_are_truncated_not_dropped(self):
+        farm, result = run_faulty_farm()
+        # Each kill requeues the job, so its request id appears in more
+        # allocation-log entries than a clean run would produce.
+        entries = [rid for rid, _, _, _ in farm.allocation_log]
+        assert len(entries) == len(result.records) + result.faults.retries
+
+
+class TestLedger:
+    def test_ledger_bounds_and_consistency(self):
+        _, result = run_faulty_farm()
+        st = result.faults
+        assert 0.0 < st.availability <= 1.0
+        assert 0.0 < st.goodput <= 1.0
+        assert st.wasted_node_s > 0.0
+        assert st.quarantined_node_s > 0.0
+        assert st.retries >= st.jobs_killed > 0
+        assert len(st.mttr_samples) == st.jobs_killed
+        assert all(m > 0.0 for m in st.mttr_samples)
+
+    def test_max_crashes_caps_the_process(self):
+        capped = dataclasses.replace(FAULTS, max_crashes=2)
+        _, result = run_faulty_farm(faults=capped)
+        assert result.faults.crashes <= 2
+
+    def test_summary_surfaces_in_farm_report(self):
+        _, result = run_faulty_farm()
+        assert "faults" in result.summary()
+        assert "availability" in result.report()
+
+    def test_fault_spans_reach_the_trace(self):
+        _, result = run_faulty_farm()
+        cats = {s.cat for s in result.trace.spans}
+        assert CAT_FAULT in cats
+
+
+class TestScenarioIntegration:
+    def test_selftest_scenario_with_faults_completes(self):
+        scenario = dataclasses.replace(
+            selftest_scenario(),
+            fault=FarmFaults(crash_rate_per_node_hour=0.05, repair_s=2.0),
+        )
+        result = scenario.run()
+        assert all(r.t_done is not None for r in result.records)
+        assert result.faults is not None

@@ -361,12 +361,28 @@ class TestScenario:
         assert len(result.records) == 4
 
     def test_unknown_scenario_key_rejected(self):
-        with pytest.raises(ConfigError, match="unknown scenario keys"):
+        with pytest.raises(ConfigError, match=r"unknown key 'scenario\.typo'"):
             FarmScenario.from_dict({"sessions": [{"name": "x"}], "typo": 1})
 
     def test_unknown_session_key_rejected(self):
-        with pytest.raises(ConfigError, match="unknown keys"):
+        with pytest.raises(ConfigError, match=r"unknown key 'sessions\[0\]\.velocity'"):
             FarmScenario.from_dict({"sessions": [{"name": "x", "velocity": 9}]})
+
+    def test_unknown_fault_key_rejected(self):
+        with pytest.raises(ConfigError, match=r"unknown key 'fault\.crash_rate'"):
+            FarmScenario.from_dict(
+                {"sessions": [{"name": "x"}], "fault": {"crash_rate": 1.0}}
+            )
+
+    def test_unknown_backend_option_rejected(self):
+        with pytest.raises(ConfigError, match=r"unknown key 'backend_options\.gird'"):
+            FarmScenario.from_dict(
+                {
+                    "sessions": [{"name": "x"}],
+                    "mode": "execute",
+                    "backend_options": {"gird": 8},
+                }
+            )
 
     def test_missing_sessions_rejected(self):
         with pytest.raises(ConfigError, match="sessions"):

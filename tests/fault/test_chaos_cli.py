@@ -1,0 +1,85 @@
+"""The ``python -m repro chaos`` surface and its spec validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fault.chaos import run_chaos
+from repro.utils.errors import ConfigError
+
+
+class TestRunChaos:
+    def test_default_sweep_shapes(self):
+        report, last = run_chaos({"sweep": [0.0, 10.0], "seed": 7})
+        rates = [e["crash_rate_per_node_hour"] for e in report["sweep"]]
+        assert rates == [0.0, 10.0]
+        zero, ten = report["sweep"]
+        assert zero["crashes"] == 0
+        assert zero["availability"] == 1.0
+        assert ten["availability"] <= 1.0
+        for entry in report["sweep"]:
+            for key in ("makespan_s", "slo_attainment", "p95_s", "jobs_killed",
+                        "retries", "goodput", "mttr_s"):
+                assert key in entry
+        assert last is not None
+
+    def test_deterministic(self):
+        a, _ = run_chaos({"sweep": [5.0], "seed": 3})
+        b, _ = run_chaos({"sweep": [5.0], "seed": 3})
+        assert a == b
+
+    def test_unknown_spec_key_names_path(self):
+        with pytest.raises(ConfigError, match=r"unknown key 'chaos\.sweeep'"):
+            run_chaos({"sweeep": [1.0]})
+
+    def test_scenario_subspec_validated_with_same_validator(self):
+        with pytest.raises(ConfigError, match=r"unknown key 'scenario\.nodez'"):
+            run_chaos({"scenario": {"nodez": 4}})
+
+
+class TestChaosCLI:
+    def test_end_to_end_writes_report_and_trace(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "chaos", "--sweep", "0", "2", "--seed", "5",
+            "--out", str(out), "--trace-out", str(trace),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert [e["crash_rate_per_node_hour"] for e in report["sweep"]] == [0.0, 2.0]
+        events = json.loads(trace.read_text())
+        assert events["traceEvents"]
+        table = capsys.readouterr().out
+        assert "avail%" in table and "MTTR" in table
+
+    def test_json_mode_emits_report(self, capsys):
+        rc = main(["chaos", "--sweep", "0", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sweep"][0]["crashes"] == 0
+
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"sweep": [1.0], "repair_s": 2.0, "seed": 9}))
+        rc = main(["chaos", "--spec", str(spec), "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["repair_s"] == 2.0
+
+    def test_bad_spec_key_fails_with_path(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"sweep": [1.0], "repair": 2.0}))
+        rc = main(["chaos", "--spec", str(spec)])
+        assert rc != 0
+        assert "unknown key 'chaos.repair'" in capsys.readouterr().err
+
+    def test_malformed_spec_file_fails_cleanly(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text("{not json")
+        rc = main(["chaos", "--spec", str(spec)])
+        assert rc != 0
+        assert "cannot load chaos spec" in capsys.readouterr().err

@@ -1,0 +1,173 @@
+"""Compositor failover: conservation property + the 2048-rank acceptance run.
+
+The conservation invariant: after re-partitioning dead compositors'
+tiles among survivors, the owned rectangles — surviving tiles plus
+adopted strips — tile the image exactly (full union, zero overlap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compositing.directsend import (
+    COMPOSITE_TAG,
+    assemble_tiles,
+    direct_send_compose_failover,
+)
+from repro.compositing.schedule import schedule_from_geometry
+from repro.fault import FaultPlan, NodeCrash, compile_fault_plan
+from repro.fault.failover import (
+    check_exact_cover,
+    coverage_rects,
+    failover_assignments,
+    split_rect_rows,
+)
+from repro.render.camera import Camera
+from repro.render.decomposition import BlockDecomposition
+from repro.vmpi.runner import MPIWorld
+
+
+def _schedule(ranks: int, grid: int, image: int):
+    cam = Camera.looking_at_volume((grid,) * 3, width=image, height=image)
+    dec = BlockDecomposition((grid,) * 3, ranks)
+    return schedule_from_geometry(dec, cam, ranks)
+
+
+class TestSplitRectRows:
+    def test_partitions_exactly(self):
+        strips = split_rect_rows((3, 5, 10, 7), 3)
+        check_exact_cover([(x - 3, y - 5, w, h) for x, y, w, h in strips], 10, 7)
+
+    def test_degenerate_rects_yield_nothing(self):
+        assert split_rect_rows((0, 0, 0, 5), 2) == []
+        assert split_rect_rows((0, 0, 5, 0), 2) == []
+        assert split_rect_rows((0, 0, 5, 5), 0) == []
+
+    def test_never_more_strips_than_rows(self):
+        assert len(split_rect_rows((0, 0, 8, 3), 16)) == 3
+
+
+class TestConservationProperty:
+    """Randomized dead sets over real schedules: exact cover always holds."""
+
+    @pytest.mark.parametrize("ranks,image", [(16, 64), (64, 128)])
+    def test_exact_cover_under_random_dead_sets(self, ranks, image):
+        sched = _schedule(ranks, 32, image)
+        rng = np.random.default_rng(ranks * 1000 + image)
+        for trial in range(25):
+            # Kill between 1 and all-but-one compositors.
+            k = int(rng.integers(1, sched.num_compositors))
+            dead = rng.choice(sched.num_compositors, size=k, replace=False)
+            assignments = failover_assignments(sched, dead)
+            rects = coverage_rects(sched, dead, assignments)
+            check_exact_cover(rects, image, image)
+
+    def test_all_dead_is_total_loss(self):
+        sched = _schedule(16, 32, 64)
+        dead = range(sched.num_compositors)
+        assert failover_assignments(sched, dead) == {}
+
+    def test_deterministic_and_local(self):
+        # Every rank computes assignments independently; the function
+        # must be a pure function of (schedule, dead set).
+        sched = _schedule(16, 32, 64)
+        a = failover_assignments(sched, [3, 7, 11])
+        b = failover_assignments(sched, [11, 3, 7])
+        assert a == b
+
+
+class TestPixelFailover:
+    def test_small_world_recovers_full_canvas(self):
+        """Real pixels: crash two compositors, canvas stays fully owned."""
+        from repro.render.image import PartialImage
+
+        ranks, image = 16, 64
+        sched = _schedule(ranks, 32, image)
+
+        def program(ctx):
+            # A solid-colour footprint covering the whole image keeps
+            # the geometry trivial while exercising the full protocol.
+            px = np.zeros((image, image, 4), np.float32)
+            px[..., ctx.rank % 3] = 0.05
+            px[..., 3] = 0.05
+            partial = PartialImage((0, 0, image, image), px, float(ctx.rank))
+            res = yield from direct_send_compose_failover(ctx, partial, sched)
+            return res
+
+        plan = FaultPlan(
+            node_crashes=(NodeCrash(1e-5, 0),), detect_s=1e-4, seed=11
+        )
+        world = MPIWorld.for_cores(ranks)
+        res = world.run(program, fault=plan)
+
+        # Node 0 in VN mode carries 4 ranks; all must be dead.
+        dead = {r for r, v in enumerate(res.values) if v is None}
+        assert len(dead) == 4
+        rects = [rect for v in res.values if v for rect, _ in v]
+        check_exact_cover(rects, image, image)
+        canvas = assemble_tiles(res.values, image, image)
+        assert canvas.shape == (image, image, 4)
+        # Survivors' radiance reaches every pixel, so nothing is blank.
+        assert float(canvas[..., 3].min()) > 0.0
+        assert res.fault is not None
+        assert res.fault.crashes == 1
+        # Each dead compositor tile yields at least one recovered strip.
+        dead_tiles = {t for t in dead if t < sched.num_compositors}
+        assert res.fault.recoveries >= len(dead_tiles) > 0
+
+    def test_no_crash_plan_delegates_to_fast_path(self):
+        from repro.render.image import PartialImage
+
+        ranks, image = 16, 64
+        sched = _schedule(ranks, 32, image)
+
+        def program(ctx):
+            px = np.full((image, image, 4), 0.03, np.float32)
+            partial = PartialImage((0, 0, image, image), px, float(ctx.rank))
+            res = yield from direct_send_compose_failover(ctx, partial, sched)
+            return res
+
+        res = world_res = MPIWorld.for_cores(ranks).run(
+            program, fault=FaultPlan(drop_prob=0.0, seed=1)
+        )
+        rects = [rect for v in world_res.values if v for rect, _ in v]
+        check_exact_cover(rects, image, image)
+        assert res.fault is not None and res.fault.crashes == 0
+
+
+class TestAcceptance2048:
+    def test_directsend_2048_survives_one_percent_crashes(self):
+        """The ISSUE acceptance run: 2048 ranks, 512^2 image, 1% of
+        nodes crash mid-frame; the frame completes via failover with
+        full coverage and a fault report carrying availability/MTTR."""
+        ranks, image = 2048, 512
+        sched = _schedule(ranks, 96, image)
+        plan = compile_fault_plan(
+            29,
+            num_nodes=ranks // 4,  # VN mode: 4 ranks per node
+            duration_s=0.05,
+            crash_frac=0.01,
+        )
+        assert len(plan.node_crashes) == 5  # 1% of 512 nodes
+
+        def program(ctx):
+            # partial=None: virtual geometry-only phase, same protocol.
+            res = yield from direct_send_compose_failover(ctx, None, sched)
+            return res
+
+        world = MPIWorld.for_cores(ranks)
+        res = world.run(program, fault=plan)
+
+        dead = {r for r, v in enumerate(res.values) if v is None}
+        assert len(dead) == 20  # 5 nodes x 4 ranks
+        rects = [rect for v in res.values if v for rect, _ in v]
+        check_exact_cover(rects, image, image)
+
+        rep = res.fault
+        assert rep is not None
+        assert rep.crashes == 5
+        assert 0.0 < rep.availability < 1.0
+        assert rep.mttr_s > 0.0
+        dead_tiles = {r for r in dead if r < sched.num_compositors}
+        assert rep.recoveries >= len(dead_tiles) > 0

@@ -1,0 +1,107 @@
+"""FaultPlan construction, validation, and compilation from rates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fault import (
+    FarmFaults,
+    FaultPlan,
+    IOStraggler,
+    LinkWindow,
+    NodeCrash,
+    RetryPolicy,
+    compile_fault_plan,
+)
+from repro.utils.errors import FaultError
+
+
+class TestFaultPlan:
+    def test_none_is_empty(self):
+        assert FaultPlan.none().empty
+
+    def test_any_fault_makes_it_non_empty(self):
+        assert not FaultPlan(node_crashes=(NodeCrash(1.0, 0),)).empty
+        assert not FaultPlan(io_stragglers=(IOStraggler(0, 1.0),)).empty
+        assert not FaultPlan(link_windows=(LinkWindow(0.0, 1.0, 0.5),)).empty
+        assert not FaultPlan(drop_prob=0.1).empty
+        assert not FaultPlan(dup_prob=0.1).empty
+
+    def test_plan_is_hashable_and_frozen(self):
+        plan = FaultPlan(seed=3, drop_prob=0.1)
+        assert hash(plan) == hash(FaultPlan(seed=3, drop_prob=0.1))
+        with pytest.raises(AttributeError):
+            plan.seed = 4
+
+    @pytest.mark.parametrize("bad", [{"drop_prob": 1.0}, {"drop_prob": -0.1},
+                                     {"dup_prob": 1.5}, {"detect_s": -1.0}])
+    def test_probability_validation(self, bad):
+        with pytest.raises(FaultError):
+            FaultPlan(**bad)
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(node_crashes=(NodeCrash(-1.0, 0),))
+
+    def test_invalid_link_window_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(link_windows=(LinkWindow(2.0, 1.0, 0.5),))
+        with pytest.raises(FaultError):
+            FaultPlan(link_windows=(LinkWindow(0.0, 1.0, 0.0),))
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_capped(self):
+        p = RetryPolicy(base_s=1e-4, backoff=2.0, max_delay_s=4e-4)
+        assert p.delay(0) == pytest.approx(1e-4)
+        assert p.delay(1) == pytest.approx(2e-4)
+        assert p.delay(2) == pytest.approx(4e-4)
+        assert p.delay(10) == pytest.approx(4e-4)  # capped
+
+
+class TestCompile:
+    def test_deterministic(self):
+        kw = dict(num_nodes=64, duration_s=10.0, num_ranks=256,
+                  crash_frac=0.1, straggler_frac=0.05,
+                  straggler_delay_s=2.0, link_flaps=2, drop_prob=0.01)
+        assert compile_fault_plan(7, **kw) == compile_fault_plan(7, **kw)
+        assert compile_fault_plan(7, **kw) != compile_fault_plan(8, **kw)
+
+    def test_crash_fraction_and_window(self):
+        plan = compile_fault_plan(
+            1, num_nodes=100, duration_s=10.0, crash_frac=0.1,
+            crash_window=(0.2, 0.8),
+        )
+        assert len(plan.node_crashes) == 10
+        for c in plan.node_crashes:
+            assert 2.0 <= c.time_s <= 8.0
+            assert 0 <= c.node < 100
+
+    def test_protected_nodes_never_crash(self):
+        plan = compile_fault_plan(
+            1, num_nodes=8, duration_s=1.0, crash_frac=0.9,
+            protect_nodes=(0, 1),
+        )
+        assert all(c.node not in (0, 1) for c in plan.node_crashes)
+
+    def test_stragglers_need_rank_count(self):
+        plan = compile_fault_plan(
+            1, num_nodes=4, duration_s=1.0, straggler_frac=0.5,
+        )  # num_ranks omitted -> no stragglers drawn
+        assert plan.io_stragglers == ()
+
+    def test_zero_rates_compile_to_empty(self):
+        assert compile_fault_plan(1, num_nodes=4, duration_s=1.0).empty
+
+
+class TestFarmFaults:
+    def test_active(self):
+        assert not FarmFaults().active
+        assert FarmFaults(crash_rate_per_node_hour=1.0).active
+        assert not FarmFaults(crash_rate_per_node_hour=1.0, max_crashes=0).active
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            FarmFaults(crash_rate_per_node_hour=-1.0)
+        with pytest.raises(FaultError):
+            FarmFaults(repair_s=0.0)
