@@ -298,9 +298,11 @@ def _register_des() -> None:
     # imports ``_timeit`` from here).
     from benchmarks.perf.des_scale import DES_BENCHMARKS
     from benchmarks.perf.fault_overhead import FAULT_BENCHMARKS
+    from benchmarks.perf.parallel_scale import PARALLEL_BENCHMARKS
 
     BENCHMARKS.update(DES_BENCHMARKS)
     BENCHMARKS.update(FAULT_BENCHMARKS)
+    BENCHMARKS.update(PARALLEL_BENCHMARKS)
 
 
 _register_des()

@@ -5,9 +5,13 @@ the *same* direct-send schedules through the discrete-event network
 (virtual payloads, real message-by-message timing with endpoint
 serialization) at 256-512 ranks and checks the two worlds agree on
 magnitudes and on every configuration ordering.  Contention is a
-phase-level law calibrated for >> 32K concurrent messages; below the
-threshold (always true here) it contributes nothing, so the comparison
-isolates the mechanical parts of the model.
+phase-level law calibrated for >> 32K concurrent messages, and the
+DES transport deliberately does not model it — so every comparison
+here is DES vs the model's *mechanical* part (``endpoint_s``; below
+the contention threshold that equals ``seconds - setup_s``).  The 32K
+test crosses the threshold and shows the split explicitly: endpoint
+mechanics agree between the worlds while the contention law alone
+carries the Fig. 8 m = n collapse.
 """
 
 import numpy as np
@@ -33,8 +37,13 @@ GRID_2048 = (128, 128, 128)
 IMAGE_2048 = 512
 CONFIGS_2048 = ((2048, 2048), (2048, 128))
 
+#: Full machine scale, affordable through the sharded parallel DES
+#: backend: the paper's Fig. 8 point (32K ranks) plus the 8192-rank
+#: step, each under m = n and the limited-m mitigation.
+CONFIGS_32K = ((8192, 8192), (8192, 2048), (32768, 32768), (32768, 2048))
 
-def des_composite(nprocs: int, schedule) -> float:
+
+def des_composite(nprocs: int, schedule, parallel=None) -> float:
     """Run one compositing phase with virtual payloads; simulated secs."""
 
     def program(ctx):
@@ -52,7 +61,7 @@ def des_composite(nprocs: int, schedule) -> float:
         return None
 
     world = MPIWorld.for_cores(nprocs)
-    return world.run(program).elapsed_s
+    return world.run(program, parallel=parallel).elapsed_s
 
 
 def test_model_vs_des_composite(benchmark, results_dir):
@@ -67,8 +76,10 @@ def test_model_vs_des_composite(benchmark, results_dir):
             des_s = des_composite(nprocs, sched)
             priced = model.price(vectorized_schedule_stats(dec, cam, m))
             # The model's setup constant covers schedule construction
-            # the DES phase does not perform; compare the moving parts.
-            model_s = priced.seconds - priced.setup_s
+            # the DES phase does not perform, and contention is a
+            # phase-level law the DES has no counterpart for (zero at
+            # this scale anyway); compare the moving parts.
+            model_s = priced.endpoint_s
             rows.append((nprocs, m, des_s, model_s, sched.total_messages))
         return rows
 
@@ -119,7 +130,7 @@ def test_model_vs_des_composite_2048(benchmark, results_dir):
             sched = schedule_from_geometry(dec, cam, m)
             des_s = des_composite(nprocs, sched)
             priced = model.price(vectorized_schedule_stats(dec, cam, m))
-            model_s = priced.seconds - priced.setup_s
+            model_s = priced.endpoint_s
             rows.append((nprocs, m, des_s, model_s, sched.total_messages))
         return rows
 
@@ -142,4 +153,75 @@ def test_model_vs_des_composite_2048(benchmark, results_dir):
         "model_vs_des_2048",
         "Cross-validation at 2048 ranks: analytic model vs event-driven\n\n"
         + table,
+    )
+
+
+def test_model_vs_des_composite_32k(benchmark, results_dir):
+    """The cross-check at 8192 and 32768 ranks, full fidelity — every
+    compositing message a DES event, no analytic shortcut — through
+    the sharded conservative-parallel backend (workers=2; the result
+    is bitwise independent of the worker count).
+
+    These scales cross the contention threshold, so the comparison
+    splits the model: the DES must land in-band against the mechanical
+    ``endpoint_s`` part, while the phase-level contention law (which
+    the DES transport deliberately does not replay) alone carries the
+    Fig. 8 m = n collapse.  Both the DES-mechanical and the full-model
+    32K compositor-limiting ratios are recorded for EXPERIMENTS.md."""
+    from repro.sim.parallel import ParallelConfig
+
+    cam = Camera.looking_at_volume(GRID_2048, width=IMAGE_2048, height=IMAGE_2048)
+    model = CompositeTimeModel()
+    parallel = ParallelConfig(workers=2)
+
+    def collect():
+        rows = []
+        for nprocs, m in CONFIGS_32K:
+            dec = BlockDecomposition(GRID_2048, nprocs)
+            sched = schedule_from_geometry(dec, cam, m)
+            des_s = des_composite(nprocs, sched, parallel=parallel)
+            priced = model.price(vectorized_schedule_stats(dec, cam, m))
+            rows.append(
+                (nprocs, m, des_s, priced.endpoint_s, priced.contention_s,
+                 sched.total_messages)
+            )
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    des = {(n, m): d for n, m, d, _e, _c, _cnt in rows}
+    full = {(n, m): e + c for n, m, _d, e, c, _cnt in rows}
+    des_ratio = des[(32768, 32768)] / des[(32768, 2048)]
+    model_ratio = full[(32768, 32768)] / full[(32768, 2048)]
+
+    table = format_table(
+        ["ranks", "m", "DES (ms)", "endpoint (ms)", "contention (ms)", "messages"],
+        [[n, m, d * 1e3, e * 1e3, c * 1e3, cnt] for n, m, d, e, c, cnt in rows],
+    )
+
+    for nprocs, m, des_s, endpoint_s, _cont, _count in rows:
+        ratio = des_s / endpoint_s
+        # The same band as the smaller scales, against the mechanical
+        # part only: the DES plays out hop latencies and endpoint
+        # interleaving message by message, the model bounds the
+        # busiest endpoint analytically.
+        assert 0.25 < ratio < 6.0, (nprocs, m, ratio)
+
+    # Fig. 8 direction at 32K: m = n loses to the limited-m
+    # mitigation in both worlds.  The DES sees it mechanically (each
+    # renderer injects ~65 tiny serialized messages under m = n, even
+    # though the model's per-endpoint *bound* is larger for limited-m)
+    # and the contention law widens the gap further — the many-small-
+    # messages penalty the paper attributes the collapse to.
+    assert des_ratio > 1.0
+    assert model_ratio > des_ratio
+    assert full[(32768, 32768)] > des[(32768, 32768)]
+
+    write_result(
+        results_dir,
+        "model_vs_des_32k",
+        "Cross-validation at 8192/32768 ranks (parallel DES backend)\n\n"
+        + table
+        + f"\n\n32K compositor-limiting ratio (m=n / m=2048):"
+        f" model {model_ratio:.2f}x, DES-mechanical {des_ratio:.2f}x",
     )

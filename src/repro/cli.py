@@ -54,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("--elevation", type=float, default=20.0)
     p_render.add_argument("--step", type=float, default=0.7, help="ray sampling step")
     p_render.add_argument("--out", default="frame.ppm", help="output PPM path")
+    p_render.add_argument(
+        "--workers", type=int, default=1,
+        help="DES worker processes (>1 selects the sharded conservative-"
+        "parallel backend; any count gives identical results)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="render one traced frame; write Chrome trace + stage report"
@@ -101,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--only", nargs="+", metavar="NAME", default=None,
         help="restrict the guard to these benchmark names",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="run each benchmark under cProfile and print the top "
+        "cumulative-time functions instead of checking regressions",
+    )
+    p_bench.add_argument(
+        "--profile-lines", type=int, default=25, metavar="N",
+        help="rows of the per-benchmark profile table (default 25)",
     )
 
     p_farm = sub.add_parser(
@@ -176,7 +190,7 @@ def cmd_render(args: argparse.Namespace) -> int:
     from repro.pio import H5LiteHandle, IOHints, NetCDFHandle, RawHandle
     from repro.render import Camera, TransferFunction
     from repro.render.image import image_to_ppm
-    from repro.vmpi import MPIWorld
+    from repro.vmpi import MPIWorld, ParallelConfig
 
     grid = (args.grid,) * 3
     model = SupernovaModel(grid, seed=args.seed, time=args.time)
@@ -191,9 +205,11 @@ def cmd_render(args: argparse.Namespace) -> int:
         azimuth_deg=args.azimuth, elevation_deg=args.elevation,
     )
     transfer = TransferFunction.supernova(*model.value_range(args.variable))
+    parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
     renderer = ParallelVolumeRenderer(
         MPIWorld.for_cores(args.cores), camera, transfer, step=args.step,
         hints=IOHints(cb_buffer_size=1 << 17, cb_nodes=max(args.cores // 4, 1)),
+        parallel=parallel,
     )
     result = renderer.render_frame(handle)
     with open(args.out, "wb") as fh:
@@ -322,6 +338,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--update")
     if args.only:
         argv.extend(["--only", *args.only])
+    if args.profile:
+        argv.extend(["--profile", "--profile-lines", str(args.profile_lines)])
     return module.main(argv)
 
 

@@ -37,6 +37,7 @@ from repro.pio.hints import IOHints
 from repro.pio.reader import DatasetHandle, IOReport, collective_read_blocks
 from repro.render.camera import Camera
 from repro.render.decomposition import BlockDecomposition
+from repro.sim.parallel import ParallelConfig
 from repro.render.raycast import render_block
 from repro.render.transfer import TransferFunction
 from repro.render.volume import VolumeBlock
@@ -108,6 +109,7 @@ class ParallelVolumeRenderer:
         tracer: Tracer | None = None,
         fault: Any = None,
         degrade: DegradePolicy | None = None,
+        parallel: "ParallelConfig | None" = None,
     ):
         if ghost_mode not in ("io", "exchange"):
             raise ConfigError(
@@ -127,6 +129,7 @@ class ParallelVolumeRenderer:
         self.tracer = tracer
         self.fault = fault  # optional repro.fault.FaultPlan, one per frame
         self.degrade = degrade
+        self.parallel = parallel  # optional repro.sim.ParallelConfig
         self.io_model = IOTimeModel(constants, stripe)
         # Camera+decomposition keyed memo of the frame's geometry
         # (footprints, ray/box intersections, tile ownership, message
@@ -227,6 +230,7 @@ class ParallelVolumeRenderer:
             early_termination=early_termination,
             failover=failover,
             fault=injector,
+            parallel=self.parallel,
         )
         if failover:
             # No root gather under crashes — assemble the survivors'

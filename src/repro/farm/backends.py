@@ -108,12 +108,14 @@ class ExecuteBackend:
         image: int = 24,
         step: float = 0.8,
         seed: int = 1530,
+        parallel: Any = None,
     ):
         self.grid = (int(grid),) * 3
         self.world_cores = int(world_cores)
         self.image = int(image)
         self.step = float(step)
         self.seed = int(seed)
+        self.parallel = parallel  # optional repro.sim.ParallelConfig
         self._renderer = None
         self._handles: dict[tuple, Any] = {}
         self._transfers: dict[tuple, Any] = {}
@@ -152,7 +154,8 @@ class ExecuteBackend:
 
         if self._renderer is None:
             self._renderer = ParallelVolumeRenderer(
-                MPIWorld.for_cores(self.world_cores), camera, transfer, step=self.step
+                MPIWorld.for_cores(self.world_cores), camera, transfer,
+                step=self.step, parallel=self.parallel,
             )
         self._renderer.camera = camera
         self._renderer.transfer = transfer

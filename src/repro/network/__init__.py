@@ -18,6 +18,7 @@ Two cooperating views of the same network:
 from repro.network.topology import TorusTopology, TreeNetwork
 from repro.network.costs import LinkCostModel, ContentionLaw, NetworkCostModel
 from repro.network.desnet import DESNetwork
+from repro.network.shardnet import ShardNetwork
 
 __all__ = [
     "TorusTopology",
@@ -26,4 +27,5 @@ __all__ = [
     "ContentionLaw",
     "NetworkCostModel",
     "DESNetwork",
+    "ShardNetwork",
 ]
