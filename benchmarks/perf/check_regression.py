@@ -44,6 +44,7 @@ BASELINE_FILES = (
     "BENCH_des.json",
     "BENCH_fault.json",
     "BENCH_parallel.json",
+    "BENCH_farm.json",
 )
 
 

@@ -15,11 +15,17 @@ The headline claim (pinned below): browsing workloads revisit frames,
 and for those repeat requests the result cache cuts p50 latency by at
 least 5x — in practice to zero, because a warm hit never queues and
 never boots a partition.
+
+A second study (``test_flash_crowd_capacity``) turns the service tier
+on its side: a flash crowd of identical requests plus a diurnal browse
+floor, with the edge/coalescing/admission/autoscaling stack ablated
+one arm at a time.  Single-flight coalescing is what collapses the
+crowd to one render; admission is what bounds the bill when it can't.
 """
 
 from benchmarks.conftest import write_result
 from repro.analysis.reports import format_table
-from repro.farm import default_scenario
+from repro.farm import default_scenario, flash_scenario
 
 
 def _repeat_p50(result):
@@ -36,10 +42,14 @@ def _repeat_p50(result):
 
 
 def test_farm_capacity(benchmark, results_dir):
+    # coalesce=False on the nocache arms: they pin the "every frame
+    # rendered" contrast, which single-flight would quietly undo.
     arms = {
         "cache+backfill": default_scenario(),
-        "nocache+backfill": default_scenario(result_cache_entries=0),
-        "nocache+fcfs": default_scenario(result_cache_entries=0, backfill=False),
+        "nocache+backfill": default_scenario(
+            result_cache_entries=0, coalesce=False),
+        "nocache+fcfs": default_scenario(
+            result_cache_entries=0, coalesce=False, backfill=False),
     }
     results = {}
     for name, scenario in list(arms.items())[1:]:
@@ -97,3 +107,81 @@ def test_farm_capacity(benchmark, results_dir):
     for r in results.values():
         assert len(r.records) == 240
         assert 0.0 < r.utilization <= 1.0
+
+
+def _flash_rendered(result):
+    """How many of the flash crowd's requests cost a real render."""
+    return sum(
+        1 for r in result.records
+        if r.request.session == "flash0"
+        and not (r.cache_hit or r.edge_hit or r.coalesced)
+    )
+
+
+def test_flash_crowd_capacity(benchmark, results_dir):
+    arms = {
+        "full service": flash_scenario(),
+        "no coalesce": flash_scenario(coalesce=False),
+        "no coalesce/admission": flash_scenario(coalesce=False,
+                                                admission=False),
+        "static full pool": flash_scenario(autoscale=False),
+    }
+    results = {}
+    for name, scenario in list(arms.items())[1:]:
+        results[name] = scenario.run()
+    results["full service"] = benchmark.pedantic(
+        arms["full service"].run, rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, r in results.items():
+        rows.append([
+            name,
+            r.arrivals,
+            r.rendered,
+            r.coalesced,
+            r.edge_hits,
+            len(r.rejected),
+            f"{r.slo_attainment:.1%}",
+            round(r.node_hours, 1),
+        ])
+    table = format_table(
+        ["arm", "arrivals", "rendered", "coalesced", "edge hits", "shed",
+         "SLO", "node-hours"],
+        rows,
+    )
+    write_result(
+        results_dir,
+        "farm_flash_crowd",
+        "Flash-crowd capacity study (repro.farm service tier):\n"
+        "diurnal browse + 48-request flash crowd on one frame, 2048-node\n"
+        "slice, 64-node partitions, model backend.\n\n" + table,
+    )
+
+    full = results["full service"]
+    nocoal = results["no coalesce"]
+    naked = results["no coalesce/admission"]
+    static = results["static full pool"]
+
+    # The headline: single-flight collapses the crowd to ONE render.
+    assert _flash_rendered(full) == 1
+    assert full.coalesced >= 40
+
+    # Without coalescing the crowd is real load; admission sheds most
+    # of the free tier to protect everyone else...
+    assert nocoal.coalesced == 0
+    assert len(nocoal.rejected) > 0
+    assert all(r.request.tier == "free" for r in nocoal.rejected)
+
+    # ...and with admission off too, the duplicates all cost renders
+    # (less whatever the result cache promotes once the first lands).
+    assert _flash_rendered(naked) > 1
+    assert naked.rendered > full.rendered
+    assert len(naked.rejected) == 0
+
+    # Autoscaling bills less than holding the whole slice all day.
+    assert full.node_hours < static.node_hours
+
+    # Accounting stays exact in every arm.
+    for r in results.values():
+        assert r.accounting_failures() == []

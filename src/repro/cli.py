@@ -129,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the fast functional miniature and check service invariants",
     )
     p_farm.add_argument(
+        "--edge-selftest", action="store_true",
+        help="run the service-tier miniature (coalescing, edge caches, "
+        "admission, autoscaling) and check its accounting",
+    )
+    p_farm.add_argument(
         "--json", action="store_true",
         help="print the machine-readable JSON summary instead of the report",
     )
@@ -142,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_farm.add_argument(
         "--no-backfill", action="store_true",
         help="schedule strict FCFS without backfill",
+    )
+    p_farm.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable single-flight coalescing of in-flight duplicates",
     )
     p_farm.add_argument(
         "--trace-out", default=None,
@@ -347,12 +356,19 @@ def cmd_farm(args: argparse.Namespace) -> int:
     import dataclasses
     import json
 
-    from repro.farm import FarmScenario, default_scenario, run_selftest
+    from repro.farm import (
+        FarmScenario,
+        default_scenario,
+        run_edge_selftest,
+        run_selftest,
+    )
 
-    if args.selftest:
-        result, failures = run_selftest()
+    if args.selftest or args.edge_selftest:
+        runner = run_edge_selftest if args.edge_selftest else run_selftest
+        label = "edge selftest" if args.edge_selftest else "selftest"
+        result, failures = runner()
         for failure in failures:
-            print(f"selftest FAILED: {failure}", file=sys.stderr)
+            print(f"{label} FAILED: {failure}", file=sys.stderr)
         if failures:
             return 2
         if args.trace_out:
@@ -360,7 +376,7 @@ def cmd_farm(args: argparse.Namespace) -> int:
 
             write_chrome_trace(result.trace, args.trace_out)
         print(result.report())
-        print(f"\nfarm selftest ok: {len(result.records)} requests, "
+        print(f"\nfarm {label} ok: {len(result.records)} requests, "
               f"all service invariants hold")
         return 0
 
@@ -375,6 +391,8 @@ def cmd_farm(args: argparse.Namespace) -> int:
         overrides["result_cache_entries"] = 0
     if args.no_backfill:
         overrides["backfill"] = False
+    if args.no_coalesce:
+        overrides["coalesce"] = False
     if overrides:
         scenario = dataclasses.replace(scenario, **overrides)
     result = scenario.run()

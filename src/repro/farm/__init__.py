@@ -21,14 +21,20 @@ Typical use::
 or from the shell: ``python -m repro farm [--scenario spec.json]``.
 """
 
+from repro.farm.admission import TierSpec, TokenBucketAdmission, admission_from_dict
 from repro.farm.allocator import NodeAllocator, SizePolicy, standard_size_for
+from repro.farm.autoscale import ReactiveAutoscaler, StaticPool, autoscale_from_dict
 from repro.farm.backends import ExecuteBackend, ModelBackend, backend_for
 from repro.farm.cache import FrameResultCache
+from repro.farm.edge import EdgeCache, EdgeConfig
 from repro.farm.request import FrameRequest, RequestRecord
 from repro.farm.result import FarmResult
 from repro.farm.scenario import (
     FarmScenario,
     default_scenario,
+    edge_selftest_scenario,
+    flash_scenario,
+    run_edge_selftest,
     run_selftest,
     selftest_scenario,
 )
@@ -47,13 +53,24 @@ __all__ = [
     "ExecuteBackend",
     "backend_for",
     "FrameResultCache",
+    "EdgeCache",
+    "EdgeConfig",
+    "TierSpec",
+    "TokenBucketAdmission",
+    "admission_from_dict",
+    "StaticPool",
+    "ReactiveAutoscaler",
+    "autoscale_from_dict",
     "FrameRequest",
     "RequestRecord",
     "FarmResult",
     "FarmScenario",
     "default_scenario",
+    "flash_scenario",
     "selftest_scenario",
+    "edge_selftest_scenario",
     "run_selftest",
+    "run_edge_selftest",
     "RenderFarm",
     "SessionSpec",
     "Workload",

@@ -38,6 +38,7 @@ class FrameResultCache:
         self._entries: dict[tuple, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.invalidated = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -52,9 +53,13 @@ class FrameResultCache:
         return self.hits / total if total else 0.0
 
     def lookup(self, key: tuple) -> Any | None:
-        """The cached frame for ``key``, refreshing recency; else None."""
+        """The cached frame for ``key``, refreshing recency; else None.
+
+        A disabled cache (``max_entries <= 0``) counts neither hits nor
+        misses: there is no cache to miss, and the capacity study's
+        cache-off arm must report 0/0, not a miss per request.
+        """
         if not self.enabled:
-            self.misses += 1
             return None
         entry = self._entries.pop(key, None)
         if entry is None:
@@ -64,9 +69,36 @@ class FrameResultCache:
         self.hits += 1
         return entry
 
+    def touch(self, key: tuple) -> Any | None:
+        """Refresh recency (and return the entry) *without* counting.
+
+        The dispatcher uses this when a queued job is promoted by a
+        frame that got cached while it waited: the request-level hit is
+        accounted as a *promotion*, so counting a lookup hit here would
+        double-count against ``FarmResult.cache_hits``.
+        """
+        if not self.enabled:
+            return None
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._entries[key] = entry
+        return entry
+
     def contains(self, key: tuple) -> bool:
         """Membership test that does *not* count as a lookup."""
         return self.enabled and key in self._entries
+
+    def invalidate_dataset(self, dataset: str) -> int:
+        """Drop every frame of ``dataset`` (it published new data).
+
+        ``frame_key`` leads with the dataset name, so matching is a
+        prefix test.  Returns the number of entries dropped.
+        """
+        stale = [k for k in self._entries if k[0] == dataset]
+        for k in stale:
+            del self._entries[k]
+        self.invalidated += len(stale)
+        return len(stale)
 
     def store(self, key: tuple, value: Any) -> None:
         if not self.enabled:

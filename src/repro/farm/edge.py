@@ -1,0 +1,158 @@
+"""The regional edge tier: per-region frame caches with TTL + invalidation.
+
+The paper's end-to-end argument is that the machine's scarce resource
+must never be spent twice on the same work.  At service scale the
+threat is a *flash crowd*: N concurrent requests for one ``frame_key``
+that all miss the result cache and all boot partitions, multiplying
+machine load by the duplication factor.  The edge tier is the fix,
+in two parts:
+
+* **Regional LRU caches** (:class:`EdgeCache`, this module) — one
+  bounded LRU per region in *front* of the origin
+  :class:`~repro.farm.cache.FrameResultCache`.  A warm edge hit is
+  served where the user sits and never touches the origin at all.
+  Entries carry a fill time, so a TTL can bound staleness, and a
+  dataset that publishes a new timestep can
+  :meth:`~EdgeCache.invalidate_dataset` every region at once.
+
+* **Single-flight coalescing** (in :class:`~repro.farm.service.
+  RenderFarm`) — concurrent identical ``frame_key`` requests attach to
+  the one in-flight render and all complete, with the same payload, the
+  moment it lands.  The edge tier's cache makes *repeats* cheap; the
+  single-flight table makes *concurrent duplicates* free.
+
+Accounting: every counter here reconciles with :class:`FarmResult`
+(edge hits == records flagged ``edge_hit`` == zero-length ``edge-hit``
+spans in :data:`~repro.obs.tracer.CAT_EDGE`), pinned by the edge
+selftest and ``tests/farm/test_edge.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.utils.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EdgeConfig:
+    """Declarative edge-tier knobs (the ``edge`` scenario key)."""
+
+    entries_per_region: int = 128
+    ttl_s: float | None = None  # None: entries never expire by age
+
+    def __post_init__(self) -> None:
+        if self.entries_per_region < 1:
+            raise ConfigError(
+                f"edge entries_per_region must be >= 1, got {self.entries_per_region}"
+            )
+        if self.ttl_s is not None and self.ttl_s <= 0:
+            raise ConfigError(f"edge ttl_s must be > 0 (or null), got {self.ttl_s}")
+
+    def build(self) -> "EdgeCache":
+        return EdgeCache(entries_per_region=self.entries_per_region, ttl_s=self.ttl_s)
+
+
+class EdgeCache:
+    """Per-region LRU of delivered frames, keyed on ``frame_key``.
+
+    Regions materialize on first use; each holds at most
+    ``entries_per_region`` frames under the same move-to-back-on-hit
+    discipline as :class:`~repro.farm.cache.FrameResultCache`.  All
+    times are simulated seconds on the farm engine's clock — TTL
+    expiry is checked lazily at lookup, so an expired entry counts one
+    ``expired`` *and* one ``miss`` (the request proceeds to the origin).
+    """
+
+    def __init__(self, entries_per_region: int = 128, ttl_s: float | None = None):
+        if entries_per_region < 1:
+            raise ConfigError(
+                f"edge entries_per_region must be >= 1, got {entries_per_region}"
+            )
+        self.entries_per_region = int(entries_per_region)
+        self.ttl_s = None if ttl_s is None else float(ttl_s)
+        # region -> {frame_key: (t_fill, payload)} in LRU order.
+        self._regions: dict[str, dict[tuple, tuple[float, Any]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
+        self.invalidated = 0
+        self._region_hits: dict[str, int] = {}
+        self._region_misses: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._regions.values())
+
+    @property
+    def regions(self) -> tuple[str, ...]:
+        return tuple(self._regions)
+
+    def lookup(self, region: str, key: tuple, now: float) -> Any | None:
+        """The frame cached in ``region``, refreshing recency; else None."""
+        store = self._regions.get(region)
+        entry = None if store is None else store.pop(key, None)
+        if entry is not None and self.ttl_s is not None and now - entry[0] > self.ttl_s:
+            self.expired += 1
+            entry = None  # aged out: fall through to a counted miss
+        if entry is None:
+            self.misses += 1
+            self._region_misses[region] = self._region_misses.get(region, 0) + 1
+            return None
+        store[key] = entry  # re-insert: LRU, not FIFO
+        self.hits += 1
+        self._region_hits[region] = self._region_hits.get(region, 0) + 1
+        return entry[1]
+
+    def fill(self, region: str, key: tuple, payload: Any, now: float) -> None:
+        """Install a delivered frame in ``region`` (evicting LRU)."""
+        store = self._regions.setdefault(region, {})
+        store.pop(key, None)
+        while len(store) >= self.entries_per_region:
+            store.pop(next(iter(store)))
+        store[key] = (now, payload)
+
+    def invalidate_dataset(self, dataset: str) -> int:
+        """Drop every region's frames of ``dataset``; returns the count.
+
+        ``frame_key`` leads with the dataset name, so a dataset that
+        publishes a new timestep (or republishes data) can flush all
+        of its frames service-wide in one call.
+        """
+        dropped = 0
+        for store in self._regions.values():
+            stale = [k for k in store if k[0] == dataset]
+            for k in stale:
+                del store[k]
+            dropped += len(stale)
+        self.invalidated += dropped
+        return dropped
+
+    def summary(self) -> dict:
+        """JSON-able stats, reconciling with ``FarmResult.summary()``."""
+        total = self.hits + self.misses
+        return {
+            "entries_per_region": self.entries_per_region,
+            "ttl_s": self.ttl_s,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "expired": self.expired,
+            "invalidated": self.invalidated,
+            "per_region": {
+                region: {
+                    "entries": len(self._regions.get(region, ())),
+                    "hits": self._region_hits.get(region, 0),
+                    "misses": self._region_misses.get(region, 0),
+                }
+                for region in sorted(
+                    set(self._regions) | set(self._region_hits) | set(self._region_misses)
+                )
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<EdgeCache {len(self._regions)} regions, {len(self)} entries, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )

@@ -32,6 +32,8 @@ class FrameRequest:
     variable: str = "pressure"
     cores: int = 4096
     io_mode: str = "raw"
+    region: str = "global"  # edge region the request is served from
+    tier: str = "standard"  # tenant class for admission control
 
     @property
     def rid(self) -> str:
@@ -72,7 +74,15 @@ class RequestRecord:
     t_done: float = 0.0  # frame delivered
     nodes: int = 0  # partition size actually allocated (0 for cache hits)
     interval: tuple[int, int] | None = None  # allocated node range [lo, hi)
-    cache_hit: bool = False
+    cache_hit: bool = False  # served from the origin result cache
+    promoted: bool = False  # cache hit that happened in-queue (frame cached while waiting)
+    edge_hit: bool = False  # served from the regional edge cache
+    coalesced: bool = False  # attached to an identical in-flight render (single-flight)
+    rejected: bool = False  # shed by admission control; never served
+    payload: object = field(default=None, repr=False, compare=False)
+    # ^ the delivered frame (or priced estimate).  Every coalesced
+    #   waiter shares the primary's payload object — the single-flight
+    #   invariant tests pin identity, not equality.
     reserved_start: float | None = field(default=None, repr=False)
     # ^ EASY-backfill reservation recorded the first time this request
     #   blocked at the head of the queue; the scheduler invariant is

@@ -4,13 +4,32 @@ The service-level analog of :class:`repro.core.FrameResult`: per-request
 ledger records plus the derived fleet metrics — latency percentiles
 (p50/p95/p99), SLO attainment (overall and per session, honoring
 per-session SLO overrides), machine utilization, throughput, and the
-two cache tiers' hit statistics.  ``summary()`` is the JSON the CLI
-emits; ``report()`` is the human table.
+cache/edge/admission/autoscale tiers' statistics.  ``summary()`` is the
+JSON the CLI emits; ``report()`` is the human table.
+
+Accounting is *honest by construction* and checkable after the fact:
+:meth:`FarmResult.accounting_failures` verifies every identity the
+service tier promises —
+
+* request conservation: every arrival is exactly one of served
+  (``records``) or shed (``rejected``);
+* ``cache_hits == result_lookup_hits + promotions`` (submit-time hits
+  are counted lookups; in-queue promotions use the non-counting
+  ``touch`` and are counted once, at the request level);
+* a disabled result cache reports 0 hits / 0 misses;
+* renders: ``served - cache_hits - edge_hits - coalesced`` equals the
+  ``alloc`` span count (plus crash retries' ``killed`` spans);
+* every served request has exactly one ``queue`` and one ``serve``
+  span; edge hits, coalesced waiters, and rejections each have their
+  zero-length marker span.
+
+The selftests and ``tests/farm/test_edge.py`` run these on every
+scenario they touch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,6 +58,14 @@ class FarmResult:
     backend: str
     trace: Tracer | None = None
     faults: FarmFaultStats | None = None  # present only on fault-injected runs
+    promotions: int = 0  # in-queue cache hits (frame cached while the job waited)
+    coalesced_requests: int = 0  # duplicates attached to an in-flight render
+    rejected: list[RequestRecord] = field(default_factory=list)  # shed, never served
+    result_cache_enabled: bool = True
+    provisioned_node_s: float | None = None  # ∫ provisioned-pool size dt
+    edge: dict | None = None  # EdgeCache.summary() when the edge tier ran
+    admission: dict | None = None  # TokenBucketAdmission.summary()
+    autoscale: dict | None = None  # policy name, scale events, pool extremes
 
     # -- latency ------------------------------------------------------
 
@@ -99,6 +126,40 @@ class FarmResult:
         return self.cache_hits / len(self.records) if self.records else 0.0
 
     @property
+    def edge_hits(self) -> int:
+        """Requests served from a regional edge cache."""
+        return sum(r.edge_hit for r in self.records)
+
+    @property
+    def coalesced(self) -> int:
+        """Requests that attached to an identical in-flight render."""
+        return sum(r.coalesced for r in self.records)
+
+    @property
+    def rendered(self) -> int:
+        """Requests that actually cost a render and a partition."""
+        return len(self.records) - self.cache_hits - self.edge_hits - self.coalesced
+
+    @property
+    def arrivals(self) -> int:
+        """Everything that knocked: served plus shed."""
+        return len(self.records) + len(self.rejected)
+
+    @property
+    def shed_rate(self) -> float:
+        return len(self.rejected) / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def node_hours(self) -> float:
+        """Node-hours actually provisioned (the bill, not the machine)."""
+        held = (
+            self.total_nodes * self.makespan_s
+            if self.provisioned_node_s is None
+            else self.provisioned_node_s
+        )
+        return held / 3600.0
+
+    @property
     def throughput_rps(self) -> float:
         return len(self.records) / self.makespan_s if self.makespan_s else 0.0
 
@@ -130,9 +191,18 @@ class FarmResult:
         fault_section = (
             {"faults": self.faults.summary()} if self.faults is not None else {}
         )
+        extra = {}
+        if self.edge is not None:
+            extra["edge"] = self.edge
+        if self.admission is not None:
+            extra["admission"] = {**self.admission, "shed_rate": self.shed_rate}
+        if self.autoscale is not None:
+            extra["autoscale"] = self.autoscale
         return {
             "backend": self.backend,
             "requests": len(self.records),
+            "arrivals": self.arrivals,
+            "rejected": len(self.rejected),
             **fault_section,
             "sessions": len(self.sessions),
             "makespan_s": self.makespan_s,
@@ -150,17 +220,111 @@ class FarmResult:
                 "total_nodes": self.total_nodes,
                 "utilization": self.utilization,
                 "backfilled": self.backfilled,
+                "provisioned_node_s": (
+                    self.total_nodes * self.makespan_s
+                    if self.provisioned_node_s is None
+                    else self.provisioned_node_s
+                ),
+                "node_hours": self.node_hours,
+            },
+            "service": {
+                "rendered": self.rendered,
+                "coalesced": self.coalesced,
+                "edge_hits": self.edge_hits,
+                "cache_hits": self.cache_hits,
+                "promotions": self.promotions,
             },
             "cache": {
+                "enabled": self.result_cache_enabled,
                 "result_hits": self.cache_hits,
                 "result_hit_rate": self.cache_hit_rate,
                 "result_lookup_hits": self.result_cache_hits,
                 "result_lookup_misses": self.result_cache_misses,
+                "promotions": self.promotions,
                 "plan_hits": self.plan_hits,
                 "plan_misses": self.plan_misses,
             },
+            **extra,
             "per_session": per_session,
         }
+
+    # -- accounting identities ----------------------------------------
+
+    def accounting_failures(self) -> list[str]:
+        """Every violated service-tier identity, as human-readable strings.
+
+        Empty means the books balance.  The selftests assert exactly
+        that; tests use the strings as failure messages.
+        """
+        fails = []
+        served = len(self.records)
+        submit_hits = self.cache_hits - self.promotions
+
+        if self.coalesced != self.coalesced_requests:
+            fails.append(
+                f"coalesced records {self.coalesced} != coalesced counter "
+                f"{self.coalesced_requests}"
+            )
+        if any(not r.rejected for r in self.rejected):
+            fails.append("rejected list holds a record not flagged rejected")
+        if any(r.rejected or r.cache_hit and r.edge_hit for r in self.records):
+            fails.append("served records must not be rejected or double-flagged")
+        if self.rendered < 0:
+            fails.append(f"negative render count {self.rendered}")
+
+        if self.result_cache_enabled:
+            if self.result_cache_hits != submit_hits:
+                fails.append(
+                    f"lookup hits {self.result_cache_hits} != submit-time hits "
+                    f"{submit_hits} (cache_hits {self.cache_hits} - promotions "
+                    f"{self.promotions})"
+                )
+            expected_misses = self.arrivals - self.edge_hits - submit_hits
+            if self.result_cache_misses != expected_misses:
+                fails.append(
+                    f"lookup misses {self.result_cache_misses} != arrivals "
+                    f"{self.arrivals} - edge hits {self.edge_hits} - submit-time "
+                    f"hits {submit_hits} = {expected_misses}"
+                )
+        else:
+            if self.result_cache_hits or self.result_cache_misses:
+                fails.append(
+                    f"disabled cache reported {self.result_cache_hits} hits / "
+                    f"{self.result_cache_misses} misses (must be 0/0)"
+                )
+            if self.cache_hits:
+                fails.append(f"disabled cache served {self.cache_hits} hits")
+
+        if self.edge is not None and self.edge["hits"] != self.edge_hits:
+            fails.append(
+                f"edge cache hits {self.edge['hits']} != edge-hit records "
+                f"{self.edge_hits}"
+            )
+        if self.admission is not None and self.admission["rejected"] != len(self.rejected):
+            fails.append(
+                f"admission rejected {self.admission['rejected']} != rejected "
+                f"records {len(self.rejected)}"
+            )
+
+        if self.trace is not None and self.trace.enabled:
+            names: dict[str, int] = {}
+            for span in self.trace.spans:
+                names[span.name] = names.get(span.name, 0) + 1
+            retries = sum(r.retries for r in self.records)
+            checks = [
+                ("queue", served),
+                ("serve", served),
+                ("alloc", self.rendered),  # one per finished render
+                ("killed", retries),  # crash retries re-finish, no extra alloc span
+                ("edge-hit", self.edge_hits),
+                ("coalesced", self.coalesced),
+                ("reject", len(self.rejected)),
+            ]
+            for name, want in checks:
+                got = names.get(name, 0)
+                if got != want:
+                    fails.append(f"{got} {name!r} spans, expected {want}")
+        return fails
 
     def report(self) -> str:
         """Human-readable scenario report (what ``repro farm`` prints)."""
@@ -175,11 +339,32 @@ class FarmResult:
             f"  SLO          {100.0 * self.slo_attainment:.1f}% within "
             f"{fmt_time(self.slo_s)}",
             f"  utilization  {100.0 * self.utilization:.1f}% of node-seconds, "
-            f"{self.backfilled} jobs backfilled",
+            f"{self.backfilled} jobs backfilled, {self.node_hours:.1f} node-hours held",
+            f"  service      {self.rendered} rendered, {self.coalesced} coalesced, "
+            f"{self.edge_hits} edge hits, {self.cache_hits} cache hits "
+            f"({self.promotions} promoted in queue)",
             f"  caches       result {self.cache_hits}/{len(self.records)} hits "
             f"({100.0 * self.cache_hit_rate:.1f}%), plan {self.plan_hits} hits / "
             f"{self.plan_misses} misses",
         ]
+        if self.edge is not None:
+            lines.append(
+                f"  edge         {self.edge['hits']} hits / {self.edge['misses']} "
+                f"misses across {len(self.edge['per_region'])} regions, "
+                f"{self.edge['expired']} expired, {self.edge['invalidated']} invalidated"
+            )
+        if self.admission is not None:
+            lines.append(
+                f"  admission    {self.admission['admitted']} admitted, "
+                f"{len(self.rejected)} shed ({100.0 * self.shed_rate:.1f}% of "
+                f"{self.arrivals} arrivals)"
+            )
+        if self.autoscale is not None:
+            a = self.autoscale
+            lines.append(
+                f"  autoscale    {a['policy']}: {a['scale_events']} resizes, pool "
+                f"{a['min_provisioned']}-{a['max_provisioned']} nodes"
+            )
         if self.faults is not None:
             f = self.faults
             lines.append(

@@ -12,10 +12,18 @@ in one declarative record::
       "alloc_overhead_s": 2.0,
       "result_cache_entries": 256,
       "backfill": true,
+      "coalesce": true,
+      "edge": {"entries_per_region": 128, "ttl_s": 900.0},
+      "admission": {"tiers": {"free": {"rate_hz": 0.5, "burst": 4}}},
+      "autoscale": {"policy": "reactive", "min_nodes": 256,
+                    "max_nodes": 8192, "interval_s": 30.0},
       "size_policy": {"min_nodes": 256, "max_nodes": 8192},
       "sessions": [
         {"name": "browse0", "kind": "browse", "arrival": "open",
          "requests": 40, "rate_hz": 0.03, "cores": 16384, "steps": 12},
+        {"name": "flash0", "kind": "browse", "arrival": "flash",
+         "requests": 48, "burst_s": 2.0, "start_s": 600.0, "steps": 1,
+         "cores": 8192, "region": "eu", "tier": "free"},
         {"name": "orbit0", "kind": "orbit", "arrival": "closed",
          "requests": 30, "think_s": 5.0, "cores": 8192}
       ]
@@ -23,8 +31,11 @@ in one declarative record::
 
 Unknown keys are rejected (a typoed knob should fail loudly, not
 silently run the default).  :func:`default_scenario` is the committed
-capacity-study traffic (≥200 requests, ≥4 sessions); ``--selftest``
-uses :func:`selftest_scenario`, a seconds-fast miniature.
+capacity-study traffic (≥200 requests, ≥4 sessions);
+:func:`flash_scenario` is the flash-crowd capacity study (edge tier +
+admission + autoscaling against diurnal base load); ``--selftest``
+uses :func:`selftest_scenario` and ``--edge-selftest``
+:func:`edge_selftest_scenario`, both seconds-fast miniatures.
 """
 
 from __future__ import annotations
@@ -33,8 +44,11 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 
+from repro.farm.admission import admission_from_dict, check_admission_spec
 from repro.farm.allocator import SizePolicy
+from repro.farm.autoscale import autoscale_from_dict, check_autoscale_spec
 from repro.farm.backends import backend_for
+from repro.farm.edge import EdgeConfig
 from repro.farm.result import FarmResult
 from repro.farm.service import RenderFarm
 from repro.farm.workload import SessionSpec, Workload
@@ -47,6 +61,7 @@ from repro.utils.validation import check_spec_keys
 _SESSION_FIELDS = {f.name for f in dataclasses.fields(SessionSpec)}
 _POLICY_FIELDS = {f.name for f in dataclasses.fields(SizePolicy)}
 _FAULT_FIELDS = {f.name for f in dataclasses.fields(FarmFaults)}
+_EDGE_FIELDS = {f.name for f in dataclasses.fields(EdgeConfig)}
 #: Keyword arguments each backend constructor accepts; validated here so
 #: a typoed option fails at spec load, not deep inside backend_for().
 _BACKEND_OPTIONS = {
@@ -70,6 +85,10 @@ class FarmScenario:
     size_policy: SizePolicy = field(default_factory=SizePolicy)
     backend_options: dict = field(default_factory=dict)
     fault: FarmFaults | None = None
+    coalesce: bool = True  # single-flight duplicate-render coalescing
+    edge: EdgeConfig | None = None  # regional edge cache tier
+    admission: dict | None = None  # validated token-bucket admission spec
+    autoscale: dict | None = None  # validated autoscale policy spec
 
     def workload(self) -> Workload:
         return Workload(sessions=self.sessions, seed=self.seed)
@@ -86,6 +105,14 @@ class FarmScenario:
             slo_s=self.slo_s,
             tracer=tracer,
             faults=self.fault,
+            coalesce=self.coalesce,
+            edge=self.edge.build() if self.edge is not None else None,
+            admission=(
+                admission_from_dict(self.admission) if self.admission is not None else None
+            ),
+            autoscaler=(
+                autoscale_from_dict(self.autoscale) if self.autoscale is not None else None
+            ),
         )
 
     def run(self, tracer: Tracer | None = None) -> FarmResult:
@@ -107,13 +134,28 @@ class FarmScenario:
         fault = spec.pop("fault", None)
         if fault is not None:
             fault = FarmFaults(**check_spec_keys(fault, _FAULT_FIELDS, path="fault"))
+        edge = spec.pop("edge", None)
+        if edge is not None:
+            edge = EdgeConfig(**check_spec_keys(edge, _EDGE_FIELDS, path="edge"))
+        admission = spec.pop("admission", None)
+        if admission is not None:
+            admission = check_admission_spec(admission)
+        autoscale = spec.pop("autoscale", None)
+        if autoscale is not None:
+            autoscale = check_autoscale_spec(autoscale)
         options = spec.get("backend_options")
         if options is not None:
             mode = spec.get("mode", "model")
             allowed = _BACKEND_OPTIONS.get(mode, set())
             check_spec_keys(options, allowed, path="backend_options")
         return cls(
-            sessions=sessions, size_policy=policy or SizePolicy(), fault=fault, **spec
+            sessions=sessions,
+            size_policy=policy or SizePolicy(),
+            fault=fault,
+            edge=edge,
+            admission=admission,
+            autoscale=autoscale,
+            **spec,
         )
 
     @classmethod
@@ -139,6 +181,7 @@ def default_scenario(
     seed: int = 1530,
     result_cache_entries: int = 256,
     backfill: bool = True,
+    coalesce: bool = True,
 ) -> FarmScenario:
     """The committed capacity-study traffic: 240 requests, 6 sessions.
 
@@ -186,7 +229,77 @@ def default_scenario(
         alloc_overhead_s=2.0,
         result_cache_entries=result_cache_entries,
         backfill=backfill,
+        coalesce=coalesce,
         size_policy=SizePolicy(min_nodes=256, max_nodes=2048),
+    )
+
+
+def flash_scenario(
+    seed: int = 1530,
+    coalesce: bool = True,
+    edge: bool = True,
+    admission: bool = True,
+    autoscale: bool = True,
+    flash_requests: int = 48,
+) -> FarmScenario:
+    """The flash-crowd capacity study: diurnal base load plus a spike.
+
+    A two-rack (2048-node) slice serving 64-node partitions (so at most
+    32 concurrent renders).  Traffic is a diurnal browse population in
+    one region, a small closed interactive tenant in another, and — at
+    t=600 s — a flash crowd: ``flash_requests`` arrivals inside a two
+    second window, all asking for the *same frame* from the ``free``
+    tier.  Each service-tier arm is independently switchable so the
+    capacity study can difference them:
+
+    * ``coalesce`` — single-flight; off, the crowd renders K times;
+    * ``edge`` — regional caches; off, every repeat reaches the origin;
+    * ``admission`` — the ``free`` tier is token-bucketed; off, the
+      crowd's duplicates (if also uncoalesced) queue behind everyone;
+    * ``autoscale`` — reactive pool in [256, 2048]; off, the service
+      holds (and pays for) the full slice all day.
+    """
+    sessions = (
+        SessionSpec(
+            name="browse0", kind="browse", arrival="diurnal", requests=60,
+            rate_hz=0.05, cores=256, steps=8, region="us",
+            period_s=1200.0, diurnal_amp=0.8,
+        ),
+        # azimuth 45 keeps the crowd's frame off inter0's 30-degree
+        # orbit grid: nobody else ever renders (or caches) it, so the
+        # spike is absorbed by single-flight alone.
+        SessionSpec(
+            name="flash0", kind="browse", arrival="flash",
+            requests=flash_requests, burst_s=2.0, start_s=600.0,
+            cores=256, steps=1, azimuth_deg=45.0,
+            region="eu", tier="free",
+        ),
+        SessionSpec(
+            name="inter0", kind="orbit", arrival="closed", requests=16,
+            think_s=20.0, cores=256, orbit_deg=30.0, region="us",
+            tier="interactive", slo_s=60.0,
+        ),
+    )
+    return FarmScenario(
+        sessions=sessions,
+        seed=seed,
+        mode="model",
+        total_nodes=2048,
+        slo_s=120.0,
+        alloc_overhead_s=2.0,
+        result_cache_entries=256,
+        coalesce=coalesce,
+        edge=EdgeConfig(entries_per_region=64) if edge else None,
+        admission=(
+            {"tiers": {"free": {"rate_hz": 0.5, "burst": 4}}} if admission else None
+        ),
+        autoscale=(
+            {"policy": "reactive", "min_nodes": 256, "max_nodes": 2048,
+             "interval_s": 30.0}
+            if autoscale
+            else None
+        ),
+        size_policy=SizePolicy(min_nodes=64, max_nodes=64),
     )
 
 
@@ -243,14 +356,87 @@ def run_selftest() -> tuple[FarmResult, list[str]]:
     allocs = sum(1 for s in spans if s.name == "alloc")
     if queues != n or serves != n:
         failures.append(f"span reconciliation: {queues} queue / {serves} serve spans for {n} requests")
-    if allocs != n - result.cache_hits:
-        failures.append(f"{allocs} alloc spans but {n - result.cache_hits} rendered requests")
-    if result.cache_hits == 0:
-        failures.append("selftest traffic revisits frames; expected result-cache hits")
+    if allocs != result.rendered:
+        failures.append(f"{allocs} alloc spans but {result.rendered} rendered requests")
+    if result.cache_hits + result.coalesced == 0:
+        failures.append("selftest traffic revisits frames; expected cache hits or coalesces")
     if any(r.cache_hit and r.serve_s != 0.0 for r in result.records):
         failures.append("a cache hit consumed simulated service time")
     if not (0.0 < result.utilization <= 1.0):
         failures.append(f"utilization {result.utilization} outside (0, 1]")
     if "attainment" not in result.summary()["slo"]:
         failures.append("summary lacks SLO attainment")
+    failures.extend(result.accounting_failures())
+    return result, failures
+
+
+def edge_selftest_scenario(seed: int = 11) -> FarmScenario:
+    """A seconds-fast functional miniature of the whole service tier.
+
+    Execute mode on a 64-node slice: a flash crowd from the token
+    bucketed ``free`` tier (so coalescing *and* load shedding both
+    fire), one browse population per region sharing frames (so origin
+    hits fill a second region's edge and later requests hit it), and a
+    reactive pool so scaling mechanics run under real renders.
+    """
+    sessions = (
+        SessionSpec(
+            name="flash0", kind="browse", arrival="flash", requests=12,
+            burst_s=0.5, steps=4, azimuth_deg=90.0, cores=64,
+            dataset="mini", region="us", tier="free",
+        ),
+        SessionSpec(
+            name="browse0", kind="browse", arrival="open", requests=8,
+            rate_hz=0.5, cores=64, steps=3, dataset="mini", region="us",
+        ),
+        SessionSpec(
+            name="browse1", kind="browse", arrival="open", requests=8,
+            rate_hz=0.5, cores=64, steps=3, dataset="mini", region="eu",
+            start_s=6.0,
+        ),
+    )
+    return FarmScenario(
+        sessions=sessions,
+        seed=seed,
+        mode="execute",
+        total_nodes=64,
+        slo_s=30.0,
+        alloc_overhead_s=0.1,
+        result_cache_entries=64,
+        coalesce=True,
+        edge=EdgeConfig(entries_per_region=32),
+        admission={"tiers": {"free": {"rate_hz": 0.5, "burst": 2}}},
+        autoscale={"policy": "reactive", "min_nodes": 16, "max_nodes": 64,
+                   "interval_s": 2.0},
+        size_policy=SizePolicy(min_nodes=16, max_nodes=16),
+    )
+
+
+def run_edge_selftest() -> tuple[FarmResult, list[str]]:
+    """Run the edge-tier miniature and check the service-tier invariants.
+
+    Returns the result plus failure descriptions (empty on success) —
+    the CLI's ``--edge-selftest`` turns them into exit status for CI.
+    """
+    scenario = edge_selftest_scenario()
+    result = scenario.run()
+    failures: list[str] = []
+    total = scenario.workload().total_requests
+    if result.arrivals != total:
+        failures.append(f"expected {total} arrivals accounted, got {result.arrivals}")
+    if result.coalesced == 0:
+        failures.append("flash crowd of identical frames; expected coalesced requests")
+    if result.edge_hits == 0:
+        failures.append("repeat traffic per region; expected edge hits")
+    if not result.rejected:
+        failures.append("token-bucketed flash tier; expected shed requests")
+    if result.rendered >= result.arrivals:
+        failures.append("service tier deduplicated nothing")
+    if any(r.payload is None for r in result.records):
+        failures.append("a served request carries no payload")
+    if result.autoscale is None or result.autoscale["min_provisioned"] < 16:
+        failures.append("autoscale pool summary missing or below min_nodes")
+    if result.provisioned_node_s is None or result.provisioned_node_s <= 0:
+        failures.append("provisioned node-seconds not integrated")
+    failures.extend(result.accounting_failures())
     return result, failures

@@ -6,8 +6,27 @@ partition scheduler, and job completions — as coroutines on one
 service time, and machine utilization all share a single simulated
 clock (the same clock semantics as the frame pipeline itself).
 
-Scheduling is FCFS with EASY backfill over the aligned
-:class:`NodeAllocator`:
+A request moves through the **service tier** before it ever sees the
+scheduler, in strict order:
+
+1. **edge** — the regional :class:`~repro.farm.edge.EdgeCache`; a warm
+   hit is served in zero time without touching the origin;
+2. **origin** — the service-wide :class:`FrameResultCache` (this lookup
+   is the only *counted* one: hits/misses here reconcile exactly with
+   request-level accounting);
+3. **single-flight** — with coalescing on, a request whose
+   ``frame_key`` is already being rendered *attaches* to that in-flight
+   job as a waiter instead of queueing a duplicate: K concurrent
+   identical requests cost exactly one render and one partition boot;
+4. **admission** — only a request that needs *new* render work spends a
+   token from its tier's bucket
+   (:class:`~repro.farm.admission.TokenBucketAdmission`); shed requests
+   are rejected on the spot with explicit accounting, never silently
+   dropped;
+5. **queue** — the survivors are priced lazily (the backend renders at
+   start, not at arrival, so a job satisfied from cache or coalescing
+   while queued never renders at all) and scheduled FCFS with EASY
+   backfill over the aligned :class:`NodeAllocator`:
 
 * the head of the queue either starts immediately or gets a
   *reservation* — the earliest time it could start given the running
@@ -17,60 +36,76 @@ Scheduling is FCFS with EASY backfill over the aligned
   reserved time every backfilled interval has been freed again, so the
   machine state the reservation was computed against is restored.
 
-Every request emits three :mod:`repro.obs` spans on the shared tracer —
-``queue`` (arrival → allocation), ``alloc`` (partition boot), ``serve``
-(rendering) — in category :data:`CAT_FARM`, so the existing Chrome
-trace and report exporters work unchanged, and span counts reconcile
-exactly with :class:`FarmResult` (one ``queue``+``serve`` per request,
-one ``alloc`` per *rendered* request; cache hits never boot a
-partition and their spans are zero-length).
+An :class:`~repro.farm.autoscale` policy, if installed, fences node
+space: unprovisioned nodes are reserved out of the allocator, growth
+frees fence, shrink reserves the drain region (skipped while busy and
+retried next evaluation), and ``provisioned * dt`` is integrated into
+``FarmResult.provisioned_node_s`` so node-hours reflect what was held.
+
+Every request emits ``queue`` and ``serve`` spans (plus ``alloc`` for
+the rendered ones) in :data:`CAT_FARM`; edge hits and coalesced waiters
+add zero-length markers in :data:`CAT_EDGE`, rejections in
+:data:`CAT_ADMIT` — so span counts reconcile exactly with
+:class:`FarmResult` (``FarmResult.accounting_failures()`` checks every
+identity).
 
 With :class:`~repro.fault.plan.FarmFaults` installed the farm also runs
 a Poisson node-failure process: crashes arrive at ``rate × total
 nodes``, each one quarantines the victim node for ``repair_s`` (an
 exact-interval :meth:`NodeAllocator.reserve`) and kills any job holding
 it — the job's partial work is charged to ``wasted_node_s`` and the
-request requeues at the back.  The whole process draws from
-``substream(seed, "farm", "fault")``, so a chaos sweep is replayable;
-with no faults configured none of this code runs and results are
-bitwise identical to the pre-fault farm.
+request requeues at the back **with its waiters still attached**: a
+crash mid-render costs one requeue, not one per coalesced client.  The
+whole process draws from ``substream(seed, "farm", "fault")``, so a
+chaos sweep is replayable; with no faults configured none of this code
+runs and results are bitwise identical to the pre-fault farm.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.farm.admission import TokenBucketAdmission
 from repro.farm.allocator import NodeAllocator, SizePolicy
 from repro.farm.backends import ServiceBackend
 from repro.farm.cache import FrameResultCache
+from repro.farm.edge import EdgeCache
 from repro.farm.request import FrameRequest, RequestRecord
 from repro.farm.result import FarmResult
 from repro.farm.workload import SessionSpec, Workload
 from repro.fault.metrics import FarmFaultStats
 from repro.fault.plan import FarmFaults
 from repro.machine.specs import BGP_ALCF
-from repro.obs.tracer import CAT_FARM, CAT_FAULT, Tracer
+from repro.obs.tracer import CAT_ADMIT, CAT_EDGE, CAT_FARM, CAT_FAULT, Tracer
 from repro.sim.engine import Engine
 from repro.sim.events import Future
 from repro.utils.errors import ConfigError
 from repro.utils.rng import substream
 
-#: Tracer lane for machine-level fault events (crashes, quarantine);
+#: Tracer lane for machine-level events (crashes, quarantine, scaling);
 #: session lanes are 0..len(sessions)-1, so -1 is the "machine" track.
 MACHINE_LANE = -1
 
 
 @dataclass
 class _Job:
-    """One admitted (non-cache-hit) request waiting for or holding nodes."""
+    """One admitted render job waiting for or holding nodes.
+
+    ``service_s``/``payload`` stay ``None`` until the job is *priced*
+    (the backend render), which happens at start — never at arrival —
+    so cache promotions and coalesced completions cost zero renders.
+    ``waiters`` are the coalesced duplicates riding on this render.
+    """
 
     record: RequestRecord
     nodes: int
-    service_s: float
-    payload: Any
     done: Future
+    service_s: float | None = None
+    payload: Any = None
+    waiters: list[tuple[RequestRecord, Future]] = field(default_factory=list)
     t_end: float = 0.0
     backfilled: bool = field(default=False)
     finish_ev: Any = field(default=None, repr=False)  # cancellable on node crash
@@ -95,6 +130,10 @@ class RenderFarm:
         slo_s: float = 60.0,
         tracer: Tracer | None = None,
         faults: FarmFaults | None = None,
+        coalesce: bool = True,
+        edge: EdgeCache | None = None,
+        admission: TokenBucketAdmission | None = None,
+        autoscaler: Any | None = None,
     ):
         if alloc_overhead_s < 0:
             raise ConfigError(f"alloc_overhead_s must be >= 0, got {alloc_overhead_s}")
@@ -106,23 +145,43 @@ class RenderFarm:
         self.alloc_overhead_s = float(alloc_overhead_s)
         self.slo_s = float(slo_s)
         self.tracer = tracer or Tracer(enabled=True)
+        self.coalesce = bool(coalesce)
+        self.edge = edge
+        self.admission = admission
+        self.autoscaler = autoscaler
 
         self.engine = Engine()
         self.allocator = NodeAllocator(total_nodes)
         self.records: list[RequestRecord] = []
+        self.rejected: list[RequestRecord] = []
         self.backfilled = 0
+        self.promotions = 0  # in-queue cache hits (frame cached while waiting)
         # (rid, interval, t_hold, t_end) for every partition ever booted;
         # the no-overlap scheduler invariant is checked against this log.
         self.allocation_log: list[tuple[str, tuple[int, int], float, float]] = []
 
         self._queue: deque[_Job] = deque()
         self._running: dict[str, _Job] = {}
+        self._inflight: dict[tuple, _Job] = {}  # frame_key -> primary job
+        self._coalesced = 0
         self._total = workload.total_requests
         self._completed = 0
         self._wake: Future | None = None
         self._pending_kick = False
         self._util_node_s = 0.0
+        self._busy_nodes = 0
         self._ran = False
+
+        # -- autoscale state (full machine when no policy installed) --
+        self._provisioned = total_nodes
+        self._provision_t0 = 0.0
+        self._provisioned_node_s = 0.0
+        self._scale_events: list[tuple[float, int, int]] = []
+        self._scale_ev = None
+        self._pool_cap = total_nodes
+        if autoscaler is not None:
+            cap = getattr(autoscaler, "max_nodes", getattr(autoscaler, "nodes", total_nodes))
+            self._pool_cap = min(total_nodes, int(cap))
 
         # -- fault process state (inert unless faults.active) ---------
         self.faults = faults if (faults is not None and faults.active) else None
@@ -143,6 +202,8 @@ class RenderFarm:
         if self._ran:
             raise ConfigError("RenderFarm.run() is one-shot; build a new farm")
         self._ran = True
+        if self.autoscaler is not None:
+            self._setup_autoscale()
         for spec in self.workload.sessions:
             program = (
                 self._closed_session(spec)
@@ -155,6 +216,7 @@ class RenderFarm:
             self._fault_rng = substream(self.workload.seed, "farm", "fault")
             self._schedule_next_crash()
         makespan = self.engine.run()
+        self._provisioned_node_s += (makespan - self._provision_t0) * self._provisioned
         if self.faults is not None:
             self.fault_stats = self._build_fault_stats(makespan)
         return FarmResult(
@@ -172,7 +234,27 @@ class RenderFarm:
             backend=self.backend.name,
             trace=self.tracer,
             faults=self.fault_stats,
+            promotions=self.promotions,
+            coalesced_requests=self._coalesced,
+            rejected=list(self.rejected),
+            result_cache_enabled=self.result_cache.enabled,
+            provisioned_node_s=self._provisioned_node_s,
+            edge=self.edge.summary() if self.edge is not None else None,
+            admission=self.admission.summary() if self.admission is not None else None,
+            autoscale=self._autoscale_summary(),
         )
+
+    def invalidate_dataset(self, dataset: str) -> int:
+        """A dataset published new data: flush it from origin and edge.
+
+        Safe to call from a scheduled engine event mid-run (that is how
+        the timestep-publication tests drive it).  Returns the total
+        number of frames dropped across both tiers.
+        """
+        dropped = self.result_cache.invalidate_dataset(dataset)
+        if self.edge is not None:
+            dropped += self.edge.invalidate_dataset(dataset)
+        return dropped
 
     # -- session processes --------------------------------------------
 
@@ -194,43 +276,129 @@ class RenderFarm:
             if thinks[i] > 0:
                 yield float(thinks[i])
 
-    # -- admission ----------------------------------------------------
+    # -- the service tier: edge -> origin -> coalesce -> admit --------
 
     def _submit(self, request: FrameRequest) -> Future:
         now = self.engine.now
         record = RequestRecord(request, t_arrive=now)
-        self.records.append(record)
         done = Future(name=f"{request.rid}.done")
-        payload = self.result_cache.lookup(request.frame_key)
+        key = request.frame_key
+
+        if self.edge is not None:
+            payload = self.edge.lookup(request.region, key, now)
+            if payload is not None:
+                self.records.append(record)
+                self._complete_from_edge(record, done, payload)
+                return done
+
+        payload = self.result_cache.lookup(key)
         if payload is not None:
-            self._complete_from_cache(record, done)
+            self.records.append(record)
+            self._complete_from_cache(record, done, payload)
             return done
+
+        if self.coalesce:
+            primary = self._inflight.get(key)
+            if primary is not None:
+                self.records.append(record)
+                self._coalesced += 1
+                record.coalesced = True
+                primary.waiters.append((record, done))
+                return done
+
         nodes = self.size_policy.nodes_for(request.cores)
-        if nodes > self.allocator.total_nodes:
+        if nodes > self._pool_cap:
             raise ConfigError(
                 f"request {request.rid} needs a {nodes}-node partition but the "
-                f"farm machine has {self.allocator.total_nodes} nodes"
+                f"farm can provision at most {self._pool_cap} nodes"
             )
-        service_s, payload = self.backend.render(
-            request, self.size_policy.cores_for(nodes)
-        )
-        self._queue.append(
-            _Job(record=record, nodes=nodes, service_s=service_s, payload=payload, done=done)
-        )
+
+        # Only NEW render work spends an admission token: everything
+        # above served the request without touching the machine.
+        if self.admission is not None and not self.admission.admit(request.tier, now):
+            self._reject(record, done, now)
+            return done
+
+        self.records.append(record)
+        job = _Job(record=record, nodes=nodes, done=done)
+        if self.coalesce:
+            self._inflight[key] = job
+        self._queue.append(job)
         self._kick()
         return done
 
-    def _complete_from_cache(self, record: RequestRecord, done: Future) -> None:
+    def _complete_from_cache(
+        self, record: RequestRecord, done: Future, payload: Any, promoted: bool = False
+    ) -> None:
         """A warm result-cache hit: done *now*, in zero service time."""
         now = self.engine.now
         record.t_hold = record.t_serve = record.t_done = now
         record.cache_hit = True
+        record.promoted = promoted
+        record.payload = payload
+        if self.edge is not None:
+            # The frame was just delivered to this region: warm its edge.
+            self.edge.fill(record.request.region, record.request.frame_key, payload, now)
         rank = self.workload.session_index(record.request.session)
         self.tracer.span(rank, "queue", CAT_FARM, record.t_arrive, now, req=record.request.rid)
         self.tracer.span(rank, "serve", CAT_FARM, now, now, req=record.request.rid, cached=True)
         self._note_completed()
         done.resolve(record)
         self._kick()
+
+    def _complete_from_edge(self, record: RequestRecord, done: Future, payload: Any) -> None:
+        """A warm edge hit: served in-region, the origin never sees it."""
+        now = self.engine.now
+        record.t_hold = record.t_serve = record.t_done = now
+        record.edge_hit = True
+        record.payload = payload
+        rank = self.workload.session_index(record.request.session)
+        rid = record.request.rid
+        self.tracer.span(rank, "queue", CAT_FARM, record.t_arrive, now, req=rid)
+        self.tracer.span(rank, "serve", CAT_FARM, now, now, req=rid, edge=True)
+        self.tracer.span(
+            rank, "edge-hit", CAT_EDGE, now, now, req=rid, region=record.request.region
+        )
+        self._note_completed()
+        done.resolve(record)
+        self._kick()
+
+    def _reject(self, record: RequestRecord, done: Future, now: float) -> None:
+        """Shed by admission control: accounted, never served."""
+        record.t_hold = record.t_serve = record.t_done = now
+        record.rejected = True
+        self.rejected.append(record)
+        rank = self.workload.session_index(record.request.session)
+        self.tracer.span(
+            rank, "reject", CAT_ADMIT, now, now,
+            req=record.request.rid, tier=record.request.tier,
+        )
+        self._note_completed()
+        done.resolve(record)
+
+    def _resolve_waiters(self, job: _Job, payload: Any) -> None:
+        """Complete every coalesced duplicate riding on ``job``, now.
+
+        All waiters resolve at the same simulated instant with the
+        *same payload object* the primary delivered — the single-flight
+        contract the edge tests pin by identity.
+        """
+        if not job.waiters:
+            return
+        now = self.engine.now
+        for wrecord, wdone in job.waiters:
+            wrecord.t_hold = wrecord.t_serve = wrecord.t_done = now
+            wrecord.payload = payload
+            rank = self.workload.session_index(wrecord.request.session)
+            rid = wrecord.request.rid
+            self.tracer.span(rank, "queue", CAT_FARM, wrecord.t_arrive, now, req=rid)
+            self.tracer.span(rank, "serve", CAT_FARM, now, now, req=rid, coalesced=True)
+            self.tracer.span(rank, "coalesced", CAT_EDGE, now, now, req=rid)
+            if self.edge is not None:
+                self.edge.fill(wrecord.request.region, wrecord.request.frame_key, payload, now)
+            self._note_completed()
+            wdone.resolve(wrecord)
+        job.waiters = []
 
     # -- the scheduler ------------------------------------------------
 
@@ -267,18 +435,29 @@ class RenderFarm:
             # Head blocked: reserve its earliest possible start, then
             # let later jobs backfill without touching that reservation.
             shadow = self._shadow_time(head)
-            if head.record.reserved_start is None:
+            if head.record.reserved_start is None and math.isfinite(shadow):
                 head.record.reserved_start = shadow
             if self.backfill:
                 self._backfill_behind(head, shadow)
             return
 
     def _dispatch_cached(self, job: _Job) -> bool:
-        """Complete a queued job whose frame got cached while it waited."""
-        if not self.result_cache.contains(job.request.frame_key):
+        """Complete a queued job whose frame got cached while it waited.
+
+        The recency refresh uses :meth:`FrameResultCache.touch`, which
+        does **not** count a lookup: this hit is accounted as a
+        *promotion* at the request level, and counting it again at the
+        cache level would break ``cache_hits == lookup_hits +
+        promotions``.
+        """
+        payload = self.result_cache.touch(job.request.frame_key)
+        if payload is None:
             return False
-        self.result_cache.lookup(job.request.frame_key)  # refresh recency
-        self._complete_from_cache(job.record, job.done)
+        self.promotions += 1
+        if self._inflight.get(job.request.frame_key) is job:
+            del self._inflight[job.request.frame_key]
+        self._complete_from_cache(job.record, job.done, payload, promoted=True)
+        self._resolve_waiters(job, payload)
         return True
 
     def _backfill_behind(self, head: _Job, shadow: float) -> None:
@@ -287,7 +466,7 @@ class RenderFarm:
             if self._dispatch_cached(job):
                 self._queue.remove(job)
                 continue
-            hold_s = self.alloc_overhead_s + job.service_s
+            hold_s = self.alloc_overhead_s + self._price(job)
             if now + hold_s > shadow + 1e-12:
                 continue  # would overrun the head job's reservation
             interval = self.allocator.alloc(job.nodes)
@@ -306,22 +485,40 @@ class RenderFarm:
             when = other.t_end
             if ghost.fits(job.nodes):
                 return when
-        # All running jobs released: an empty machine always fits (the
-        # submit-time size check guarantees nodes <= total_nodes).
+        if not ghost.fits(job.nodes):
+            # Even the drained pool is too small (autoscale fence or
+            # quarantine): no reservation to protect, so backfill runs
+            # free until the pool grows.
+            return math.inf
         return when
 
     # -- job lifecycle ------------------------------------------------
 
+    def _price(self, job: _Job) -> float:
+        """Render (once) to learn the job's service time and payload.
+
+        Deliberately lazy: a job that never starts — promoted from the
+        queue by a cached frame, or coalesced away — never calls the
+        backend at all.  The edge tests pin this with a counting stub.
+        """
+        if job.service_s is None:
+            job.service_s, job.payload = self.backend.render(
+                job.request, self.size_policy.cores_for(job.nodes)
+            )
+        return job.service_s
+
     def _start(self, job: _Job, interval: tuple[int, int]) -> None:
         now = self.engine.now
+        service_s = self._price(job)
         record = job.record
         record.t_hold = now
         record.t_serve = now + self.alloc_overhead_s
-        record.t_done = record.t_serve + job.service_s
+        record.t_done = record.t_serve + service_s
         record.nodes = job.nodes
         record.interval = interval
         job.t_end = record.t_done
         self._running[job.request.rid] = job
+        self._busy_nodes += job.nodes
         self._util_node_s += job.nodes * (record.t_done - now)
         self.allocation_log.append((job.request.rid, interval, now, record.t_done))
         job.finish_ev = self.engine.schedule_at(record.t_done, lambda j=job: self._finish(j))
@@ -330,6 +527,7 @@ class RenderFarm:
         record = job.record
         self.allocator.free(record.interval)  # type: ignore[arg-type]
         self._running.pop(job.request.rid)
+        self._busy_nodes -= job.nodes
         rank = self.workload.session_index(record.request.session)
         rid = record.request.rid
         self.tracer.span(rank, "queue", CAT_FARM, record.t_arrive, record.t_hold, req=rid)
@@ -341,15 +539,99 @@ class RenderFarm:
             rank, "serve", CAT_FARM, record.t_serve, record.t_done,
             req=rid, nodes=job.nodes, backfilled=job.backfilled,
         )
+        record.payload = job.payload
         self.result_cache.store(record.request.frame_key, job.payload)
+        if self._inflight.get(record.request.frame_key) is job:
+            del self._inflight[record.request.frame_key]
+        if self.edge is not None:
+            self.edge.fill(
+                record.request.region, record.request.frame_key, job.payload, self.engine.now
+            )
         self._note_completed()
         job.done.resolve(record)
+        self._resolve_waiters(job, job.payload)
         self._kick()
 
     def _note_completed(self) -> None:
         self._completed += 1
-        if self._completed >= self._total and self.faults is not None:
-            self._teardown_faults()
+        if self._completed >= self._total:
+            if self.faults is not None:
+                self._teardown_faults()
+            if self._scale_ev is not None:
+                self._scale_ev.cancel()
+                self._scale_ev = None
+
+    # -- autoscaling --------------------------------------------------
+    #
+    # The pool is fenced, not resized: unprovisioned nodes sit in an
+    # exact allocator reservation at the top of the node space.  Growth
+    # frees part of the fence; shrink reserves the drain region, which
+    # fails loudly (and is skipped, to retry next evaluation) while any
+    # job or quarantine still holds nodes there.
+
+    def _setup_autoscale(self) -> None:
+        total = self.allocator.total_nodes
+        initial = max(1, min(int(self.autoscaler.initial(total)), total))
+        if initial < total:
+            self.allocator.reserve((initial, total))
+        self._provisioned = initial
+        interval_s = float(getattr(self.autoscaler, "interval_s", 0.0))
+        if interval_s > 0:
+            self._scale_ev = self.engine.schedule(interval_s, self._evaluate_scale)
+
+    def _evaluate_scale(self) -> None:
+        self._scale_ev = None
+        if self._completed >= self._total:
+            return
+        now = self.engine.now
+        target = int(
+            self.autoscaler.target(
+                now=now,
+                provisioned=self._provisioned,
+                busy_nodes=self._busy_nodes,
+                queue_depth=len(self._queue),
+                total_nodes=self.allocator.total_nodes,
+            )
+        )
+        target = max(1, min(target, self.allocator.total_nodes))
+        if target != self._provisioned:
+            self._apply_provision(target, now)
+        self._scale_ev = self.engine.schedule(
+            float(self.autoscaler.interval_s), self._evaluate_scale
+        )
+
+    def _apply_provision(self, target: int, now: float) -> None:
+        old = self._provisioned
+        if target > old:
+            self.allocator.free((old, target))
+        else:
+            try:
+                self.allocator.reserve((target, old))
+            except ConfigError:
+                return  # drain region busy or quarantined; retry next eval
+        self._provisioned_node_s += (now - self._provision_t0) * old
+        self._provision_t0 = now
+        self._provisioned = target
+        self._scale_events.append((now, old, target))
+        self.tracer.span(
+            MACHINE_LANE, f"scale {old}->{target}", CAT_FARM, now, now, nodes=target
+        )
+        if target > old:
+            self._kick()
+
+    def _autoscale_summary(self) -> dict | None:
+        if self.autoscaler is None:
+            return None
+        sizes = [self._provisioned] + [old for _, old, _ in self._scale_events]
+        return {
+            "policy": self.autoscaler.name,
+            "scale_events": len(self._scale_events),
+            "events": [[t, old, new] for t, old, new in self._scale_events],
+            "min_provisioned": min(sizes),
+            "max_provisioned": max(sizes),
+            "final_provisioned": self._provisioned,
+            "provisioned_node_s": self._provisioned_node_s,
+        }
 
     # -- the failure process ------------------------------------------
     #
@@ -395,6 +677,7 @@ class RenderFarm:
         job.finish_ev.cancel()
         job.finish_ev = None
         self._running.pop(rid)
+        self._busy_nodes -= job.nodes
         self.allocator.free(record.interval)  # type: ignore[arg-type]
         # Roll back the utilization credited for the unserved remainder
         # and charge the partial work that just evaporated.
@@ -422,6 +705,8 @@ class RenderFarm:
             rank, "killed", CAT_FAULT, record.t_hold, now,
             req=rid, node=node, retry=record.retries,
         )
+        # The job requeues ONCE, waiters still attached; its _inflight
+        # entry stays, so new duplicates keep coalescing onto it.
         self._queue.append(job)
         self._kick()
 
@@ -432,8 +717,9 @@ class RenderFarm:
             self.allocator.reserve((node, node + 1))
         except ConfigError:
             # The node is inside a partition whose job just finished in
-            # this same timestep ordering; skip rather than corrupt the
-            # free list.  (Running jobs were handled by _kill_job.)
+            # this same timestep ordering — or behind the autoscale
+            # fence; skip rather than corrupt the free list.  (Running
+            # jobs were handled by _kill_job.)
             return
         ev = self.engine.schedule(
             self.faults.repair_s, lambda n=node: self._release_node(n)

@@ -8,9 +8,11 @@ style per-rank stage report.
 """
 
 from repro.obs.tracer import (
+    CAT_ADMIT,
     CAT_COLL,
     CAT_COMM,
     CAT_COMPOSE,
+    CAT_EDGE,
     CAT_FARM,
     CAT_FAULT,
     CAT_IO,
@@ -36,6 +38,8 @@ __all__ = [
     "CAT_COLL",
     "CAT_COMPOSE",
     "CAT_FARM",
+    "CAT_EDGE",
+    "CAT_ADMIT",
     "CAT_FAULT",
     "CAT_IO",
     "CAT_PROC",

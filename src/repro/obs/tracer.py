@@ -35,6 +35,8 @@ CAT_COMPOSE = "compose"  # compositing-specific activity (recv waits)
 CAT_IO = "io"  # bridged physical I/O accesses
 CAT_PROC = "proc"  # engine process lifetimes
 CAT_FARM = "farm"  # rendering-service request phases (queue/alloc/serve)
+CAT_EDGE = "edge"  # edge-tier activity (regional hits, coalesced joins, invalidations)
+CAT_ADMIT = "admit"  # admission-control decisions (load-shed rejections)
 CAT_FAULT = "fault"  # injected failures + recovery actions (crash/retry/failover)
 
 #: The frame stages, in pipeline order (Sec. III-B).

@@ -1,0 +1,330 @@
+"""The service tier: single-flight coalescing, the edge cache, honest books.
+
+Pinned properties (the duplicate-render fix):
+
+* K concurrent identical requests cost exactly one backend render and
+  one partition boot; all K futures resolve at the same simulated time
+  with the *same payload object*;
+* jobs satisfied from cache or coalescing never call the backend at
+  all (pricing is deferred to start — the eager-render fix);
+* a crash mid-render requeues the primary once, not once per waiter;
+* the recency refresh on an in-queue promotion does not count a cache
+  lookup (``cache_hits == result_lookup_hits + promotions`` exactly);
+* a disabled result cache reports 0 hits / 0 misses;
+* edge caches are per-region LRUs with TTL expiry and dataset
+  invalidation, and every counter reconciles with the result.
+"""
+
+import pytest
+
+from repro.farm import (
+    EdgeCache,
+    EdgeConfig,
+    FarmFaults,
+    FrameResultCache,
+    RenderFarm,
+    SessionSpec,
+    SizePolicy,
+    Workload,
+)
+from repro.obs.tracer import CAT_EDGE, CAT_FARM
+from repro.utils.errors import ConfigError
+
+from test_service import StubBackend, run_farm
+
+
+def crowd(k, *, burst_s=1.0, **kw):
+    """K arrivals for one identical frame inside ``burst_s``."""
+    kw.setdefault("cores", 256)
+    return SessionSpec(
+        name="crowd", kind="browse", arrival="flash", requests=k,
+        burst_s=burst_s, steps=1, **kw,
+    )
+
+
+def alloc_spans(result):
+    return [s for s in result.trace.spans if s.cat == CAT_FARM and s.name == "alloc"]
+
+
+class TestSingleFlight:
+    @pytest.mark.parametrize("k", [2, 8, 32])
+    def test_k_identical_requests_render_once(self, k):
+        # Machine sized so ALL k jobs could run concurrently: any render
+        # beyond the first is pure duplication, not queueing.
+        farm, result = run_farm(
+            [crowd(k)], seconds=60.0, total_nodes=64 * k,
+            min_nodes=64, max_nodes=64,
+        )
+        assert farm.backend.plan_misses == 1  # exactly one backend render
+        assert len(alloc_spans(result)) == 1  # exactly one partition boot
+        assert result.rendered == 1
+        assert result.coalesced == k - 1
+        primary = next(r for r in result.records if not r.coalesced)
+        for rec in result.records:
+            assert rec.t_done == primary.t_done  # all land together
+            assert rec.payload is primary.payload  # identity, not a copy
+        assert result.accounting_failures() == []
+
+    def test_coalescing_off_renders_k_times(self):
+        # The acceptance contrast: same crowd, coalescing disabled, a
+        # machine holding exactly K concurrent partitions — every
+        # request boots and renders (none finishes within the burst, so
+        # no promotions either).
+        k = 32
+        farm, result = run_farm(
+            [crowd(k)], seconds=60.0, total_nodes=64 * k,
+            min_nodes=64, max_nodes=64, coalesce=False,
+        )
+        assert farm.backend.plan_misses == k
+        assert len(alloc_spans(result)) == k
+        assert result.rendered == k and result.coalesced == 0
+        assert result.promotions == 0
+        assert result.accounting_failures() == []
+
+    def test_waiters_keep_queueing_delay_accounting(self):
+        farm, result = run_farm(
+            [crowd(8, burst_s=2.0)], seconds=30.0, total_nodes=64,
+            min_nodes=64, max_nodes=64,
+        )
+        primary = next(r for r in result.records if not r.coalesced)
+        for rec in result.records:
+            if rec.coalesced:
+                assert rec.serve_s == 0.0 and rec.nodes == 0
+                assert rec.latency_s == pytest.approx(
+                    primary.t_done - rec.t_arrive
+                )
+
+    def test_cached_and_coalesced_jobs_never_call_the_backend(self):
+        # The eager-render fix, pinned with the counting stub: a closed
+        # session revisiting 2 frames renders exactly 2 times however
+        # many requests it makes.
+        sessions = [
+            SessionSpec(name="s", arrival="closed", requests=10, steps=2,
+                        cores=64, think_s=0.5),
+        ]
+        farm, result = run_farm(sessions)
+        assert farm.backend.plan_misses == 2
+        assert result.rendered == 2
+        assert result.cache_hits == 8
+
+    def test_promoted_job_never_calls_the_backend(self):
+        # coalesce off: the duplicate queues a REAL job, the frame gets
+        # cached while it waits, and the promotion completes it without
+        # the deferred pricing ever firing.
+        sessions = [
+            SessionSpec(name="a", arrival="closed", requests=1, cores=4096),
+            SessionSpec(name="b", arrival="closed", requests=1, cores=4096,
+                        start_s=0.125),
+        ]
+        farm, result = run_farm(
+            sessions, seconds=10.0, total_nodes=1024,
+            min_nodes=1024, max_nodes=1024, coalesce=False,
+        )
+        assert farm.backend.plan_misses == 1
+        assert result.promotions == 1
+        assert result.accounting_failures() == []
+
+    def test_crash_mid_render_requeues_once_not_k_times(self):
+        # One 64-node partition, 8 coalesced clients, a crash process
+        # bounded to one kill: the primary requeues once (waiters stay
+        # attached), re-runs after quarantine, and everyone still gets
+        # the same frame at the same instant.
+        k = 8
+        farm = RenderFarm(
+            Workload(sessions=(crowd(k),), seed=11),
+            StubBackend(60.0),
+            total_nodes=64,
+            size_policy=SizePolicy(min_nodes=64, max_nodes=64),
+            result_cache_entries=64,
+            faults=FarmFaults(
+                crash_rate_per_node_hour=30.0, repair_s=2.0, max_crashes=1
+            ),
+        )
+        result = farm.run()
+        assert result.faults is not None and result.faults.crashes == 1
+        assert result.faults.jobs_killed == 1
+        assert sum(r.retries for r in result.records) == 1  # once, not K
+        assert farm.backend.plan_misses == 1  # priced once, even across retry
+        assert len(alloc_spans(result)) == 1  # one *finished* boot
+        primary = next(r for r in result.records if not r.coalesced)
+        assert primary.retries == 1
+        for rec in result.records:
+            assert rec.t_done == primary.t_done
+            assert rec.payload is primary.payload
+        assert result.accounting_failures() == []
+
+
+class TestHonestCacheBooks:
+    def test_disabled_cache_counts_nothing(self):
+        cache = FrameResultCache(0)
+        assert cache.lookup(("d", 0)) is None
+        cache.store(("d", 0), "frame")
+        assert cache.lookup(("d", 0)) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_disabled_cache_farm_run_reports_zero_zero(self):
+        sessions = [
+            SessionSpec(name="s", arrival="closed", requests=6, steps=2,
+                        cores=64, think_s=1.0),
+        ]
+        _, result = run_farm(sessions, cache_entries=0)
+        assert result.result_cache_hits == 0
+        assert result.result_cache_misses == 0
+        assert not result.result_cache_enabled
+        assert result.accounting_failures() == []
+
+    def test_touch_refreshes_recency_without_counting(self):
+        cache = FrameResultCache(2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        hits, misses = cache.hits, cache.misses
+        assert cache.touch(("a",)) == 1  # now most-recent
+        assert (cache.hits, cache.misses) == (hits, misses)
+        cache.store(("c",), 3)  # evicts LRU: ("b",), not the touched ("a",)
+        assert cache.contains(("a",)) and not cache.contains(("b",))
+        assert cache.touch(("missing",)) is None
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_lookup_identity_holds_across_a_mixed_run(self):
+        # cache_hits == result_lookup_hits + promotions, pinned on
+        # traffic that exercises hits, promotions, and coalesces.
+        sessions = [
+            SessionSpec(name="s", arrival="closed", requests=8, steps=2,
+                        cores=64, think_s=0.25),
+            SessionSpec(name="dup", arrival="flash", requests=6, burst_s=0.5,
+                        steps=1, cores=256, azimuth_deg=90.0),
+        ]
+        for coalesce in (True, False):
+            _, result = run_farm(
+                sessions, seconds=10.0, total_nodes=256,
+                min_nodes=64, max_nodes=64, coalesce=coalesce,
+            )
+            assert result.cache_hits == result.result_cache_hits + result.promotions
+            assert result.accounting_failures() == []
+
+
+class TestEdgeCache:
+    def test_per_region_lru_eviction(self):
+        edge = EdgeCache(entries_per_region=2)
+        edge.fill("us", ("a",), 1, now=0.0)
+        edge.fill("us", ("b",), 2, now=1.0)
+        assert edge.lookup("us", ("a",), now=2.0) == 1  # refreshes recency
+        edge.fill("us", ("c",), 3, now=3.0)  # evicts ("b",)
+        assert edge.lookup("us", ("b",), now=4.0) is None
+        assert edge.lookup("us", ("c",), now=4.0) == 3
+        # Regions are independent stores.
+        edge.fill("eu", ("a",), 9, now=5.0)
+        assert edge.lookup("eu", ("a",), now=5.0) == 9
+        assert len(edge) == 3
+
+    def test_ttl_expiry_counts_expired_and_miss(self):
+        edge = EdgeCache(entries_per_region=8, ttl_s=10.0)
+        edge.fill("us", ("a",), 1, now=0.0)
+        assert edge.lookup("us", ("a",), now=5.0) == 1
+        assert edge.lookup("us", ("a",), now=20.0) is None  # aged out
+        assert edge.expired == 1
+        assert edge.misses == 1
+        assert edge.lookup("us", ("a",), now=21.0) is None  # really gone
+
+    def test_invalidate_dataset_sweeps_every_region(self):
+        edge = EdgeCache(entries_per_region=8)
+        edge.fill("us", ("plume", 0), 1, now=0.0)
+        edge.fill("eu", ("plume", 1), 2, now=0.0)
+        edge.fill("eu", ("other", 0), 3, now=0.0)
+        assert edge.invalidate_dataset("plume") == 2
+        assert edge.invalidated == 2
+        assert edge.lookup("eu", ("other", 0), now=1.0) == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError, match="entries_per_region"):
+            EdgeConfig(entries_per_region=0)
+        with pytest.raises(ConfigError, match="ttl_s"):
+            EdgeConfig(ttl_s=-1.0)
+
+
+class TestEdgeTierIntegration:
+    def make_regional_farm(self, **kw):
+        # browse0 (us) renders 3 frames; browse1 (eu) asks for the same
+        # frames later: origin hits fill the eu edge, repeats hit it.
+        sessions = (
+            SessionSpec(name="browse0", arrival="closed", requests=6, steps=3,
+                        cores=64, think_s=0.5, region="us"),
+            SessionSpec(name="browse1", arrival="closed", requests=6, steps=3,
+                        cores=64, think_s=0.5, region="eu", start_s=30.0),
+        )
+        kw.setdefault("edge", EdgeCache(entries_per_region=16))
+        return run_farm(sessions, seconds=2.0, **kw)
+
+    def test_second_region_hits_origin_then_its_edge(self):
+        farm, result = self.make_regional_farm()
+        assert result.edge_hits > 0
+        assert result.cache_hits > 0  # eu's first pass: origin, not edge
+        summary = farm.edge.summary()
+        assert summary["per_region"]["us"]["hits"] > 0
+        assert summary["per_region"]["eu"]["hits"] > 0
+        # Edge-hit marker spans reconcile with the records.
+        edge_spans = [
+            s for s in result.trace.spans
+            if s.cat == CAT_EDGE and s.name == "edge-hit"
+        ]
+        assert len(edge_spans) == result.edge_hits
+        assert result.accounting_failures() == []
+
+    def test_edge_hits_never_touch_origin_counters(self):
+        farm, result = self.make_regional_farm()
+        # Origin lookups happen only for requests that missed the edge.
+        assert (
+            result.result_cache_hits + result.result_cache_misses
+            == result.arrivals - result.edge_hits
+        )
+
+    def test_invalidation_forces_rerender(self):
+        # Without invalidation the second pass is all cache/edge hits;
+        # a timestep publication mid-run forces fresh renders.
+        sessions = (
+            SessionSpec(name="s", arrival="closed", requests=8, steps=2,
+                        cores=64, think_s=2.0, region="us"),
+        )
+        farm = RenderFarm(
+            Workload(sessions=sessions, seed=11),
+            StubBackend(2.0),
+            total_nodes=512,
+            size_policy=SizePolicy(min_nodes=16, max_nodes=256),
+            result_cache_entries=64,
+            edge=EdgeCache(entries_per_region=16),
+        )
+        farm.engine.schedule(15.0, lambda: farm.invalidate_dataset("1120"))
+        result = farm.run()
+        assert farm.result_cache.invalidated > 0
+        assert farm.edge.invalidated > 0
+        # More renders than the 2 unique frames: the flush cost real work.
+        assert result.rendered > 2
+        assert result.accounting_failures() == []
+
+    def test_ttl_expiry_in_the_farm_clock(self):
+        # Think time far beyond the TTL: every revisit finds its edge
+        # entry expired; the origin (no TTL) still serves it.
+        farm, result = self.make_regional_farm(
+            edge=EdgeCache(entries_per_region=16, ttl_s=0.1),
+        )
+        assert result.edge_hits == 0
+        assert farm.edge.expired > 0
+        assert result.cache_hits > 0
+        assert result.accounting_failures() == []
+
+
+class TestDeterminism:
+    def test_service_tier_runs_are_reproducible(self):
+        def go():
+            return run_farm(
+                [
+                    crowd(12, burst_s=2.0),
+                    SessionSpec(name="b", arrival="open", requests=8,
+                                rate_hz=0.5, steps=2, cores=64, region="eu"),
+                ],
+                seconds=10.0, total_nodes=256, min_nodes=64, max_nodes=64,
+                edge=EdgeCache(entries_per_region=16),
+            )[1]
+
+        a, b = go(), go()
+        assert a.summary() == b.summary()

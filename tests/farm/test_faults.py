@@ -39,12 +39,16 @@ FAULTS = FarmFaults(crash_rate_per_node_hour=2.0, repair_s=5.0)
 
 
 def run_faulty_farm(*, faults=FAULTS, seed=11, total_nodes=64, seconds=6.0):
+    # coalesce=False: these tests pin the requeue/ledger mechanics with
+    # every request rendering; the crash-under-coalescing interaction
+    # has its own tests in test_edge.py.
     farm = RenderFarm(
         Workload(sessions=SESSIONS, seed=seed),
         StubBackend(seconds),
         total_nodes=total_nodes,
         size_policy=SizePolicy(min_nodes=8, max_nodes=32),
         result_cache_entries=0,
+        coalesce=False,
         faults=faults,
     )
     return farm, farm.run()

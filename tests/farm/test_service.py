@@ -48,7 +48,7 @@ class StubBackend:
 
 def run_farm(sessions, *, seconds=5.0, total_nodes=512, backfill=True,
              cache_entries=64, min_nodes=16, max_nodes=256,
-             alloc_overhead_s=0.0, seed=11):
+             alloc_overhead_s=0.0, seed=11, **service_kwargs):
     farm = RenderFarm(
         Workload(sessions=tuple(sessions), seed=seed),
         StubBackend(seconds),
@@ -57,6 +57,7 @@ def run_farm(sessions, *, seconds=5.0, total_nodes=512, backfill=True,
         result_cache_entries=cache_entries,
         backfill=backfill,
         alloc_overhead_s=alloc_overhead_s,
+        **service_kwargs,
     )
     return farm, farm.run()
 
@@ -88,11 +89,12 @@ def assert_spans_reconcile(result):
     n = len(result.records)
     assert len(by_name.get("queue", [])) == n
     assert len(by_name.get("serve", [])) == n
-    assert len(by_name.get("alloc", [])) == n - result.cache_hits
+    assert len(by_name.get("alloc", [])) == result.rendered
     by_rid = {s.args["req"]: s for s in by_name["serve"]}
     for rec in result.records:
         span = by_rid[rec.request.rid]
         assert span.t0 == rec.t_serve and span.t1 == rec.t_done
+    assert result.accounting_failures() == []
 
 
 class TestSchedulerInvariants:
@@ -141,9 +143,11 @@ class TestSchedulerInvariants:
                         cores=512, think_s=0.0, steps=6)
             for i in range(4)
         ]
+        # coalesce=False: the four tenants ask for the same frame, and
+        # this test pins *scheduler* concurrency, not deduplication.
         farm, result = run_farm(
             sessions, total_nodes=512, min_nodes=128, max_nodes=128,
-            cache_entries=0,
+            cache_entries=0, coalesce=False,
         )
         assert_no_overlap(farm)
         starts = [r.t_hold for r in result.records]
@@ -165,7 +169,7 @@ class TestSchedulerInvariants:
         seconds = {"a": 10.0, "b": 10.0, "c": 5.0}
         farm, result = run_farm(
             sessions, seconds=seconds, total_nodes=1024,
-            min_nodes=16, max_nodes=1024, cache_entries=0,
+            min_nodes=16, max_nodes=1024, cache_entries=0, coalesce=False,
         )
         recs = {r.request.session: r for r in result.records}
         assert result.backfilled == 1
@@ -186,7 +190,7 @@ class TestSchedulerInvariants:
         seconds = {"a": 10.0, "b": 10.0, "c": 20.0}
         farm, result = run_farm(
             sessions, seconds=seconds, total_nodes=1024,
-            min_nodes=16, max_nodes=1024, cache_entries=0,
+            min_nodes=16, max_nodes=1024, cache_entries=0, coalesce=False,
         )
         recs = {r.request.session: r for r in result.records}
         assert result.backfilled == 0
@@ -205,6 +209,7 @@ class TestSchedulerInvariants:
         _, result = run_farm(
             sessions, seconds=seconds, total_nodes=1024,
             min_nodes=16, max_nodes=1024, cache_entries=0, backfill=False,
+            coalesce=False,
         )
         recs = {r.request.session: r for r in result.records}
         assert recs["c"].t_hold >= recs["b"].t_hold  # arrival order held
@@ -222,7 +227,7 @@ class TestSchedulerInvariants:
         ]
         seconds = {"big": 10.0, "huge": 10.0, "small": 2.0}
         kwargs = dict(seconds=seconds, total_nodes=1024, min_nodes=16,
-                      max_nodes=1024, cache_entries=0)
+                      max_nodes=1024, cache_entries=0, coalesce=False)
         _, with_bf = run_farm(sessions, **kwargs)
         _, without = run_farm(sessions, backfill=False, **kwargs)
         assert with_bf.backfilled > 0
@@ -245,11 +250,12 @@ class TestResultCache:
             assert rec.latency_s == 0.0
             assert rec.nodes == 0  # never booted a partition
 
-    def test_queued_duplicate_resolves_from_cache(self):
+    def test_concurrent_duplicate_coalesces_onto_inflight_render(self):
         # Two sessions ask for the same frame at nearly the same time on
-        # a machine that can only run one job: the second request waits,
-        # then completes from the cache the first populated — with
-        # queueing delay but zero service time.
+        # a machine that can only run one job: with single-flight on
+        # (the default) the second request attaches to the in-flight
+        # render and completes the moment it lands — same payload, zero
+        # service time, no second render.
         sessions = [
             SessionSpec(name="a", arrival="closed", requests=1, cores=4096),
             SessionSpec(name="b", arrival="closed", requests=1, cores=4096,
@@ -259,10 +265,39 @@ class TestResultCache:
             sessions, seconds=10.0, total_nodes=1024,
             min_nodes=1024, max_nodes=1024,
         )
+        rec_a = next(r for r in result.records if r.request.session == "a")
         rec_b = next(r for r in result.records if r.request.session == "b")
-        assert rec_b.cache_hit
+        assert rec_b.coalesced and not rec_b.cache_hit
+        assert rec_b.serve_s == 0.0
+        assert rec_b.t_done == rec_a.t_done
+        assert rec_b.payload is rec_a.payload  # identity, not a copy
+        assert rec_b.queue_s == pytest.approx(10.0 - 0.125)
+        assert result.rendered == 1 and result.promotions == 0
+
+    def test_queued_duplicate_promotes_from_cache_without_coalescing(self):
+        # Same traffic with single-flight off: the duplicate queues a
+        # real job, then completes from the cache the first populated
+        # while it waited — an in-queue *promotion*, counted at the
+        # request level only (the recency refresh must not double-count
+        # a lookup hit).
+        sessions = [
+            SessionSpec(name="a", arrival="closed", requests=1, cores=4096),
+            SessionSpec(name="b", arrival="closed", requests=1, cores=4096,
+                        start_s=0.125),
+        ]
+        _, result = run_farm(
+            sessions, seconds=10.0, total_nodes=1024,
+            min_nodes=1024, max_nodes=1024, coalesce=False,
+        )
+        rec_b = next(r for r in result.records if r.request.session == "b")
+        assert rec_b.cache_hit and rec_b.promoted and not rec_b.coalesced
         assert rec_b.serve_s == 0.0
         assert rec_b.queue_s == pytest.approx(10.0 - 0.125)
+        assert result.promotions == 1
+        # The ledger identity the touch() fix exists for: the promotion
+        # is not a counted lookup hit.
+        assert result.result_cache_hits == result.cache_hits - result.promotions == 0
+        assert result.accounting_failures() == []
 
     def test_cache_off_never_hits(self):
         sessions = [
@@ -334,7 +369,7 @@ class TestAccounting:
     def test_oversized_request_rejected(self):
         sessions = [SessionSpec(name="s", requests=1, arrival="closed",
                                 cores=16384)]
-        with pytest.raises(ConfigError, match="machine has"):
+        with pytest.raises(ConfigError, match="can provision at most"):
             run_farm(sessions, total_nodes=256, min_nodes=4096, max_nodes=4096)
 
 
