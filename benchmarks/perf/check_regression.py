@@ -45,6 +45,7 @@ BASELINE_FILES = (
     "BENCH_fault.json",
     "BENCH_parallel.json",
     "BENCH_farm.json",
+    "BENCH_compositing.json",
 )
 
 

@@ -296,11 +296,13 @@ def _register_des() -> None:
     # The DES-scale suite lives in its own module; imported lazily at
     # the end so ``suite`` stays importable on its own (des_scale
     # imports ``_timeit`` from here).
+    from benchmarks.perf.compositing_shootout import COMPOSITING_BENCHMARKS
     from benchmarks.perf.des_scale import DES_BENCHMARKS
     from benchmarks.perf.farm_serve import FARM_BENCHMARKS
     from benchmarks.perf.fault_overhead import FAULT_BENCHMARKS
     from benchmarks.perf.parallel_scale import PARALLEL_BENCHMARKS
 
+    BENCHMARKS.update(COMPOSITING_BENCHMARKS)
     BENCHMARKS.update(DES_BENCHMARKS)
     BENCHMARKS.update(FARM_BENCHMARKS)
     BENCHMARKS.update(FAULT_BENCHMARKS)

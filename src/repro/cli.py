@@ -59,6 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="DES worker processes (>1 selects the sharded conservative-"
         "parallel backend; any count gives identical results)",
     )
+    p_render.add_argument(
+        "--compositor", default="directsend",
+        choices=("directsend", "dfb", "puzzlepiece", "binaryswap", "radixk", "serial"),
+        help="compositing backend (default directsend; see repro.compositing.backends)",
+    )
+    p_render.add_argument(
+        "--error-budget", type=float, default=0.0, metavar="E",
+        help="per-pixel error allowance for approximate compositors "
+        "(puzzlepiece; default 0 = exact)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="render one traced frame; write Chrome trace + stage report"
@@ -219,6 +229,8 @@ def cmd_render(args: argparse.Namespace) -> int:
         MPIWorld.for_cores(args.cores), camera, transfer, step=args.step,
         hints=IOHints(cb_buffer_size=1 << 17, cb_nodes=max(args.cores // 4, 1)),
         parallel=parallel,
+        compositor=args.compositor,
+        error_budget=args.error_budget,
     )
     result = renderer.render_frame(handle)
     with open(args.out, "wb") as fh:
@@ -229,6 +241,15 @@ def cmd_render(args: argparse.Namespace) -> int:
         f"{result.num_compositors} compositors, "
         f"{result.schedule.total_messages} compositing messages"
     )
+    print(f"compositor {result.compositor}: {result.messages} messages, "
+          f"{result.bytes_sent} bytes on the wire")
+    if result.compose_stats:
+        s = result.compose_stats
+        print(
+            f"  dropped {s['pieces_dropped']} pieces "
+            f"({s['bytes_saved']} bytes saved), "
+            f"per-pixel error bound {s['error_bound']:.4g}"
+        )
     print(f"wrote {args.out}")
     return 0
 

@@ -11,8 +11,16 @@
 * :mod:`repro.compositing.policy` — how m is chosen from n, including
   the paper's empirical schedule (1K compositors for 1K-4K renderers,
   2K beyond).
+* :mod:`repro.compositing.backends` — the pluggable backend registry
+  every consumer (pipeline, CLI, farm, benches) dispatches through.
+* :mod:`repro.compositing.dfb` — Distributed FrameBuffer: streamed
+  tile routing that overlaps compositing with the ray-march.
+* :mod:`repro.compositing.puzzlepiece` — approximate compositing with
+  a per-pixel ``error_budget``; drops low-contribution pieces.
 * :mod:`repro.compositing.binaryswap` — the binary-swap baseline
   (Ma et al.), for the ablation benches.
+* :mod:`repro.compositing.radixk` — radix-k rounds (the SC'09
+  follow-on), interpolating binary swap and direct-send.
 * :mod:`repro.compositing.serial` — gather-to-root baseline and the
   correctness oracle.
 """
@@ -36,8 +44,26 @@ from repro.compositing.directsend import (
 from repro.compositing.binaryswap import binary_swap_compose
 from repro.compositing.radixk import radix_k_compose, radix_k_gather, default_radices
 from repro.compositing.serial import serial_compose
+from repro.compositing.dfb import dfb_compose, dfb_compose_failover
+from repro.compositing.puzzlepiece import puzzlepiece_compose, puzzle_thresholds
+from repro.compositing.backends import (
+    ComposeRequest,
+    CompositingBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
+    "ComposeRequest",
+    "CompositingBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "dfb_compose",
+    "dfb_compose_failover",
+    "puzzlepiece_compose",
+    "puzzle_thresholds",
     "TileDecomposition",
     "CompositeMessage",
     "CompositeSchedule",

@@ -1,0 +1,347 @@
+"""The compositing backend registry: one abstraction, six algorithms.
+
+Everything that composites a frame — the core pipeline, ``repro render
+--compositor``, the farm's execute backend, and the shootout benches —
+dispatches through this registry instead of hard-wiring direct-send.
+A backend owns the *timed* part of a rank's frame after the partial
+image exists numerically: it charges the priced render seconds (so
+overlapping schemes can interleave sends with the march), runs its
+communication pattern, records the ``render``/``composite`` stage
+spans every path shares, and says how the per-rank return values
+become the frame.
+
+The contract that keeps the default path bitwise frozen: the
+direct-send backend performs *exactly* the engine-event sequence the
+pipeline inlined before the registry existed — one render compute,
+the scheduled fan-out, the root gather — so a zero-fault direct-send
+frame is reproduced bit for bit.
+
+Backends:
+
+================  =====  ========  ======================================
+name              exact  failover  notes
+================  =====  ========  ======================================
+``directsend``    yes    yes       the paper's scheme, m <= n compositors
+``dfb``           yes    yes       Distributed FrameBuffer: streamed
+                                   tiles overlap compositing with render
+``puzzlepiece``   no*    no        bounded-error drops; * exact at
+                                   ``error_budget=0``; monolithic engine
+``binaryswap``    yes    no        kd-ordered pairwise halving (pow2)
+``radixk``        yes    no        grouped rounds, radix <= k
+``serial``        yes    no        gather-to-root oracle
+================  =====  ========  ======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.compositing.binaryswap import binary_swap_compose, binary_swap_gather
+from repro.compositing.dfb import dfb_compose, dfb_compose_failover
+from repro.compositing.directsend import (
+    assemble_tiles,
+    direct_send_compose,
+    direct_send_compose_failover,
+    assemble_final_image,
+)
+from repro.compositing.puzzlepiece import puzzlepiece_compose
+from repro.compositing.radixk import default_radices, radix_k_compose, radix_k_gather
+from repro.compositing.schedule import CompositeSchedule
+from repro.compositing.serial import serial_compose
+from repro.render.camera import Camera
+from repro.render.decomposition import BlockDecomposition
+from repro.render.image import PartialImage
+from repro.utils.errors import ConfigError
+
+
+@dataclass
+class ComposeRequest:
+    """Everything a backend needs for one rank's timed frame tail."""
+
+    partial: PartialImage | None
+    schedule: CompositeSchedule
+    decomposition: BlockDecomposition
+    camera: Camera
+    render_seconds: float  # priced ray-march time for this rank
+    error_budget: float = 0.0  # per-pixel error allowance (puzzlepiece)
+    failover: bool = False  # a crash plan is armed this frame
+
+
+class CompositingBackend:
+    """Base class: capability flags, validation, compose, finalize."""
+
+    name: str = "?"
+    #: Reproduces the serial oracle (pixel-exact sort-last compositing).
+    exact: bool = True
+    #: Survives compositor crashes via quiescence + re-partition.
+    supports_failover: bool = False
+    #: Honors a nonzero ``error_budget``.
+    supports_error_budget: bool = False
+    #: Runs under the sharded conservative-parallel DES backend.
+    supports_parallel: bool = True
+
+    def validate(
+        self,
+        nprocs: int,
+        decomposition: BlockDecomposition | None = None,
+        parallel: Any = None,
+        failover: bool = False,
+        error_budget: float = 0.0,
+    ) -> None:
+        """Reject unsupported configurations with a clear error."""
+        if failover and not self.supports_failover:
+            raise ConfigError(
+                f"compositor {self.name!r} does not support compositor "
+                f"failover; use 'directsend' or 'dfb' with crash plans"
+            )
+        if error_budget and not self.supports_error_budget:
+            raise ConfigError(
+                f"compositor {self.name!r} is exact and ignores no error "
+                f"budget; error_budget requires 'puzzlepiece'"
+            )
+        if parallel is not None and not self.supports_parallel:
+            raise ConfigError(
+                f"compositor {self.name!r} requires the monolithic DES "
+                f"engine (its drain protocol uses the global-interrupt "
+                f"barrier); drop the ParallelConfig"
+            )
+
+    def compose(self, ctx: Any, req: ComposeRequest) -> Generator:
+        """One rank's render-charge + compositing phase (a generator)."""
+        raise NotImplementedError
+
+    def finalize(
+        self, values: list[Any], camera: Camera, failover: bool = False
+    ) -> tuple[np.ndarray, dict | None]:
+        """Per-rank return values -> (frame image, compose stats)."""
+        return values[0], None
+
+
+class DirectSendBackend(CompositingBackend):
+    """The paper's direct-send with n renderers, m <= n compositors."""
+
+    name = "directsend"
+    supports_failover = True
+
+    def compose(self, ctx: Any, req: ComposeRequest) -> Generator:
+        tr = ctx.tracer
+        t_io = ctx.now
+        yield from ctx.compute(req.render_seconds)
+        t_render = ctx.now
+        if tr is not None:
+            tr.stage(ctx.rank, "render", t_io, t_render)
+        if req.failover:
+            owned = yield from direct_send_compose_failover(ctx, req.partial, req.schedule)
+            if tr is not None:
+                tr.stage(ctx.rank, "composite", t_render, ctx.now)
+            return owned
+        tile = yield from direct_send_compose(ctx, req.partial, req.schedule)
+        final = yield from assemble_final_image(ctx, tile, req.schedule, root=0)
+        if tr is not None:
+            tr.stage(ctx.rank, "composite", t_render, ctx.now)
+        return final
+
+    def finalize(self, values, camera, failover=False):
+        if failover:
+            return assemble_tiles(values, camera.width, camera.height), None
+        return values[0], None
+
+
+class DFBBackend(CompositingBackend):
+    """Distributed FrameBuffer: streamed tile routing, overlapped."""
+
+    name = "dfb"
+    supports_failover = True
+
+    def compose(self, ctx: Any, req: ComposeRequest) -> Generator:
+        # dfb_compose records the stage spans itself: the render stage
+        # boundary falls between its interleaved chunks, not here.
+        if req.failover:
+            return (yield from dfb_compose_failover(
+                ctx, req.partial, req.schedule, req.render_seconds
+            ))
+        return (yield from dfb_compose(
+            ctx, req.partial, req.schedule, req.render_seconds
+        ))
+
+    def finalize(self, values, camera, failover=False):
+        if failover:
+            return assemble_tiles(values, camera.width, camera.height), None
+        return values[0], None
+
+
+class PuzzlepieceBackend(CompositingBackend):
+    """Approximate puzzlepiece: bounded-error sender-side drops."""
+
+    name = "puzzlepiece"
+    exact = False  # exact only at error_budget == 0
+    supports_error_budget = True
+    supports_parallel = False  # gi_barrier needs the monolithic engine
+
+    def compose(self, ctx: Any, req: ComposeRequest) -> Generator:
+        tr = ctx.tracer
+        t_io = ctx.now
+        yield from ctx.compute(req.render_seconds)
+        t_render = ctx.now
+        if tr is not None:
+            tr.stage(ctx.rank, "render", t_io, t_render)
+        out = yield from puzzlepiece_compose(
+            ctx, req.partial, req.schedule, error_budget=req.error_budget
+        )
+        if tr is not None:
+            tr.stage(ctx.rank, "composite", t_render, ctx.now)
+        return out
+
+    def finalize(self, values, camera, failover=False):
+        image = values[0][0] if values and values[0] is not None else None
+        per_tile: dict[int, float] = {}
+        pieces_dropped = 0
+        bytes_saved = 0
+        for v in values:
+            if v is None:
+                continue
+            stats = v[1]
+            pieces_dropped += stats["pieces_dropped"]
+            bytes_saved += stats["bytes_saved"]
+            for tile, err in stats["dropped"]:
+                per_tile[tile] = per_tile.get(tile, 0.0) + err
+        error_bound = max(per_tile.values()) if per_tile else 0.0
+        return image, {
+            "pieces_dropped": pieces_dropped,
+            "bytes_saved": bytes_saved,
+            "error_bound": error_bound,
+        }
+
+
+def _check_one_block_per_rank(name: str, nprocs: int, decomposition) -> tuple[int, int, int]:
+    if decomposition is None:
+        raise ConfigError(f"compositor {name!r} needs the block decomposition")
+    bgz, bgy, bgx = decomposition.block_grid
+    if bgz * bgy * bgx != nprocs:
+        raise ConfigError(
+            f"compositor {name!r} needs one block per rank "
+            f"(blocks={bgz * bgy * bgx}, ranks={nprocs})"
+        )
+    return bgz, bgy, bgx
+
+
+class BinarySwapBackend(CompositingBackend):
+    """Binary swap over the kd ordering of the block grid."""
+
+    name = "binaryswap"
+
+    def validate(self, nprocs, decomposition=None, parallel=None,
+                 failover=False, error_budget=0.0):
+        super().validate(nprocs, decomposition, parallel, failover, error_budget)
+        grid = _check_one_block_per_rank(self.name, nprocs, decomposition)
+        for d, extent in zip("zyx", grid):
+            if extent & (extent - 1):
+                raise ConfigError(
+                    f"compositor 'binaryswap' needs a power-of-two block "
+                    f"grid; axis {d} extent is {extent}"
+                )
+
+    def compose(self, ctx: Any, req: ComposeRequest) -> Generator:
+        tr = ctx.tracer
+        t_io = ctx.now
+        yield from ctx.compute(req.render_seconds)
+        t_render = ctx.now
+        if tr is not None:
+            tr.stage(ctx.rank, "render", t_io, t_render)
+        region, image = yield from binary_swap_compose(
+            ctx, req.partial, req.decomposition, req.camera
+        )
+        final = yield from binary_swap_gather(
+            ctx, region, image, req.camera.width, req.camera.height, root=0
+        )
+        if tr is not None:
+            tr.stage(ctx.rank, "composite", t_render, ctx.now)
+        return final
+
+
+class RadixKBackend(CompositingBackend):
+    """Radix-k rounds along the block grid axes (k = 4 by default)."""
+
+    name = "radixk"
+    k = 4
+
+    def validate(self, nprocs, decomposition=None, parallel=None,
+                 failover=False, error_budget=0.0):
+        super().validate(nprocs, decomposition, parallel, failover, error_budget)
+        grid = _check_one_block_per_rank(self.name, nprocs, decomposition)
+        for extent in grid:
+            default_radices(extent, self.k)  # raises ConfigError if unfactorable
+
+    def compose(self, ctx: Any, req: ComposeRequest) -> Generator:
+        tr = ctx.tracer
+        t_io = ctx.now
+        yield from ctx.compute(req.render_seconds)
+        t_render = ctx.now
+        if tr is not None:
+            tr.stage(ctx.rank, "render", t_io, t_render)
+        region, image = yield from radix_k_compose(
+            ctx, req.partial, req.decomposition, req.camera, k=self.k
+        )
+        final = yield from radix_k_gather(
+            ctx, region, image, req.camera.width, req.camera.height, root=0
+        )
+        if tr is not None:
+            tr.stage(ctx.rank, "composite", t_render, ctx.now)
+        return final
+
+
+class SerialBackend(CompositingBackend):
+    """Gather-to-root oracle: correct, unscalable, the measuring stick."""
+
+    name = "serial"
+
+    def compose(self, ctx: Any, req: ComposeRequest) -> Generator:
+        tr = ctx.tracer
+        t_io = ctx.now
+        yield from ctx.compute(req.render_seconds)
+        t_render = ctx.now
+        if tr is not None:
+            tr.stage(ctx.rank, "render", t_io, t_render)
+        final = yield from serial_compose(
+            ctx, req.partial, req.camera.width, req.camera.height, root=0
+        )
+        if tr is not None:
+            tr.stage(ctx.rank, "composite", t_render, ctx.now)
+        return final
+
+
+_REGISTRY: dict[str, CompositingBackend] = {}
+
+
+def register_backend(backend: CompositingBackend) -> CompositingBackend:
+    """Add a backend instance to the registry (last registration wins)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> CompositingBackend:
+    """Look up a backend by name; ConfigError lists what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown compositor {name!r}; registered: {', '.join(backend_names())}"
+        ) from None
+
+
+def backend_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+for _b in (
+    DirectSendBackend(),
+    DFBBackend(),
+    PuzzlepieceBackend(),
+    BinarySwapBackend(),
+    RadixKBackend(),
+    SerialBackend(),
+):
+    register_backend(_b)

@@ -9,7 +9,7 @@ final image is completed", split into I/O, rendering, and compositing).
 """
 
 from repro.core.timing import FrameTiming
-from repro.core.pipeline import ParallelVolumeRenderer, FrameResult
+from repro.core.pipeline import DegradePolicy, ParallelVolumeRenderer, FrameResult
 from repro.core.plan import FramePlan, FramePlanCache, block_world_bounds
 from repro.core.timeseries import TimeSeriesResult, render_time_series
 
@@ -17,6 +17,7 @@ __all__ = [
     "FrameTiming",
     "ParallelVolumeRenderer",
     "FrameResult",
+    "DegradePolicy",
     "FramePlan",
     "FramePlanCache",
     "block_world_bounds",

@@ -20,12 +20,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.compositing.directsend import (
-    assemble_final_image,
-    assemble_tiles,
-    direct_send_compose,
-    direct_send_compose_failover,
-)
+from repro.compositing.backends import ComposeRequest, get_backend
 from repro.compositing.policy import PAPER_POLICY, CompositorPolicy
 from repro.compositing.schedule import CompositeSchedule
 from repro.core.plan import FramePlanCache
@@ -68,6 +63,8 @@ class FrameResult:
     trace: Tracer | None = None  # the frame's trace when tracing was on
     degraded: bool = False
     fault: Any = None
+    compositor: str = "directsend"  # which backend composited the frame
+    compose_stats: dict | None = None  # backend extras (puzzlepiece drops)
 
 
 @dataclass(frozen=True)
@@ -80,12 +77,19 @@ class DegradePolicy:
     times the resolution with ``early_termination`` opacity cutoff —
     bounded quality loss instead of a blown deadline, in the spirit of
     approximate compositing.
+
+    With ``error_budget`` set *and* a compositor that honors one
+    (puzzlepiece), deadline pressure spends error budget instead of
+    resolution: the frame keeps its full size and the compositor drops
+    low-contribution pieces up to the per-pixel budget — a principled
+    quality knob where the resolution drop was a blunt one.
     """
 
     frame_deadline_s: float
     io_fraction: float = 0.5
     image_scale: float = 0.5
     early_termination: float = 0.98
+    error_budget: float | None = None  # degrade via compositing error instead
 
     def engages(self, projected_io_s: float) -> bool:
         return projected_io_s > self.frame_deadline_s * self.io_fraction
@@ -110,6 +114,8 @@ class ParallelVolumeRenderer:
         fault: Any = None,
         degrade: DegradePolicy | None = None,
         parallel: "ParallelConfig | None" = None,
+        compositor: str = "directsend",
+        error_budget: float = 0.0,
     ):
         if ghost_mode not in ("io", "exchange"):
             raise ConfigError(
@@ -130,6 +136,9 @@ class ParallelVolumeRenderer:
         self.fault = fault  # optional repro.fault.FaultPlan, one per frame
         self.degrade = degrade
         self.parallel = parallel  # optional repro.sim.ParallelConfig
+        self.compositor = compositor
+        self.backend = get_backend(compositor)  # fail fast on a typo
+        self.error_budget = float(error_budget)
         self.io_model = IOTimeModel(constants, stripe)
         # Camera+decomposition keyed memo of the frame's geometry
         # (footprints, ray/box intersections, tile ownership, message
@@ -197,22 +206,38 @@ class ParallelVolumeRenderer:
                         log.record_straggler(rank, delay)
 
         # --- Degraded-quality fallback: when the projected I/O stage
-        # alone threatens the frame deadline, render smaller and
-        # terminate rays earlier.  The scaled camera gets its own frame
-        # plan (same decomposition and read blocks — only image-space
-        # geometry changes).
+        # alone threatens the frame deadline, either spend compositing
+        # error budget (a backend that honors one keeps the full
+        # resolution and drops low-contribution pieces) or render
+        # smaller and terminate rays earlier.  The scaled camera gets
+        # its own frame plan (same decomposition and read blocks —
+        # only image-space geometry changes).
         camera = self.camera
         early_termination = None
         degraded = False
+        error_budget = self.error_budget
         if self.degrade is not None and self.degrade.engages(io_seconds + max_straggle):
             degraded = True
-            camera = self.camera.scaled(self.degrade.image_scale)
-            early_termination = self.degrade.early_termination
-            plan = self.plan_cache.plan_for(
-                camera, grid, nprocs, self.step, self.ghost, self.ghost_mode, m
-            )
-            schedule = plan.schedule
+            if (
+                self.degrade.error_budget is not None
+                and self.backend.supports_error_budget
+            ):
+                error_budget = max(error_budget, self.degrade.error_budget)
+            else:
+                camera = self.camera.scaled(self.degrade.image_scale)
+                early_termination = self.degrade.early_termination
+                plan = self.plan_cache.plan_for(
+                    camera, grid, nprocs, self.step, self.ghost, self.ghost_mode, m
+                )
+                schedule = plan.schedule
 
+        self.backend.validate(
+            nprocs,
+            decomposition=decomposition,
+            parallel=self.parallel,
+            failover=failover,
+            error_budget=error_budget,
+        )
         result = self.world.run(
             _frame_program,
             arrays,
@@ -229,15 +254,17 @@ class ParallelVolumeRenderer:
             io_delays=io_delays,
             early_termination=early_termination,
             failover=failover,
+            compositor=self.compositor,
+            error_budget=error_budget,
             fault=injector,
             parallel=self.parallel,
         )
-        if failover:
-            # No root gather under crashes — assemble the survivors'
-            # tiles and adopted strips outside the engine.
-            image = assemble_tiles(result.values, camera.width, camera.height)
-        else:
-            image = result[0]
+        # The backend knows how its per-rank return values become the
+        # frame (rank 0's gathered canvas, or — under failover, where
+        # rank 0 may be dead — host-side tile assembly).
+        image, compose_stats = self.backend.finalize(
+            result.values, camera, failover=failover
+        )
         stage_max = tracer.stage_maxima()
         timing = FrameTiming(
             io_s=stage_max.get("io", 0.0),
@@ -258,6 +285,8 @@ class ParallelVolumeRenderer:
             trace=tracer if tracer.enabled else None,
             degraded=degraded,
             fault=result.fault if injector is not None and injector.active else None,
+            compositor=self.compositor,
+            compose_stats=compose_stats,
         )
 
 
@@ -277,6 +306,8 @@ def _frame_program(
     io_delays: dict | None = None,
     early_termination: float | None = None,
     failover: bool = False,
+    compositor: str = "directsend",
+    error_budget: float = 0.0,
 ):
     """One rank's frame: the three sequential stages of Sec. III-B.
 
@@ -284,6 +315,14 @@ def _frame_program(
     ``render``, ``composite`` span per rank); :class:`FrameTiming` and
     the trace reports both derive from them, so there is exactly one
     timing record per frame.
+
+    The render-time charge and the compositing phase belong to the
+    compositing backend (resolved here by name so the sharded parallel
+    workers need not pickle backend objects): overlapping schemes like
+    the Distributed FrameBuffer interleave the two, so the split is
+    theirs to make.  The direct-send backend reproduces the exact
+    pre-registry event sequence — one render compute, the fan-out, the
+    root gather — keeping default frames bitwise frozen.
     """
     from repro.render.ghost import ghost_exchange
 
@@ -334,24 +373,18 @@ def _frame_program(
             early_termination=early_termination, plan=ray_plan,
         )
     samples = partial.samples if partial is not None else 0
-    yield from ctx.compute(samples / render_rate)
-    t_render = ctx.now
-    if tr is not None:
-        tr.stage(ctx.rank, "render", t_io, t_render)
 
-    # Stage 3: direct-send compositing (real messages on the torus).
-    if failover:
-        # Crash plan installed: crash-tolerant compositing, and no
-        # root gather (rank 0 may die) — per-rank owned regions are
-        # assembled outside the engine.
-        owned = yield from direct_send_compose_failover(ctx, partial, schedule)
-        t_done = ctx.now
-        if tr is not None:
-            tr.stage(ctx.rank, "composite", t_render, t_done)
-        return owned
-    tile = yield from direct_send_compose(ctx, partial, schedule)
-    final = yield from assemble_final_image(ctx, tile, schedule, root=0)
-    t_done = ctx.now
-    if tr is not None:
-        tr.stage(ctx.rank, "composite", t_render, t_done)
-    return final
+    # Stages 2 (timed part) + 3: the compositing backend charges the
+    # priced render seconds and runs its communication pattern (real
+    # messages on the torus), recording the render/composite spans.
+    backend = get_backend(compositor)
+    req = ComposeRequest(
+        partial=partial,
+        schedule=schedule,
+        decomposition=decomposition,
+        camera=camera,
+        render_seconds=samples / render_rate,
+        error_budget=error_budget,
+        failover=failover,
+    )
+    return (yield from backend.compose(ctx, req))

@@ -109,6 +109,8 @@ class ExecuteBackend:
         step: float = 0.8,
         seed: int = 1530,
         parallel: Any = None,
+        compositor: str = "directsend",
+        error_budget: float = 0.0,
     ):
         self.grid = (int(grid),) * 3
         self.world_cores = int(world_cores)
@@ -116,6 +118,8 @@ class ExecuteBackend:
         self.step = float(step)
         self.seed = int(seed)
         self.parallel = parallel  # optional repro.sim.ParallelConfig
+        self.compositor = str(compositor)
+        self.error_budget = float(error_budget)
         self._renderer = None
         self._handles: dict[tuple, Any] = {}
         self._transfers: dict[tuple, Any] = {}
@@ -156,6 +160,7 @@ class ExecuteBackend:
             self._renderer = ParallelVolumeRenderer(
                 MPIWorld.for_cores(self.world_cores), camera, transfer,
                 step=self.step, parallel=self.parallel,
+                compositor=self.compositor, error_budget=self.error_budget,
             )
         self._renderer.camera = camera
         self._renderer.transfer = transfer

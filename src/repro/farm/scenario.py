@@ -66,7 +66,10 @@ _EDGE_FIELDS = {f.name for f in dataclasses.fields(EdgeConfig)}
 #: a typoed option fails at spec load, not deep inside backend_for().
 _BACKEND_OPTIONS = {
     "model": {"constants"},
-    "execute": {"grid", "world_cores", "image", "step", "seed"},
+    "execute": {
+        "grid", "world_cores", "image", "step", "seed",
+        "compositor", "error_budget",
+    },
 }
 
 
@@ -148,6 +151,27 @@ class FarmScenario:
             mode = spec.get("mode", "model")
             allowed = _BACKEND_OPTIONS.get(mode, set())
             check_spec_keys(options, allowed, path="backend_options")
+            if "compositor" in options:
+                # Resolve the name now so a typoed compositor (or an
+                # error budget on an exact one) fails at spec load.
+                from repro.compositing.backends import get_backend
+
+                backend = get_backend(options["compositor"])
+                budget = float(options.get("error_budget", 0.0))
+                if budget < 0:
+                    raise ConfigError(
+                        f"backend_options.error_budget must be >= 0, got {budget}"
+                    )
+                if budget and not backend.supports_error_budget:
+                    raise ConfigError(
+                        f"backend_options: compositor {backend.name!r} is exact "
+                        f"and honors no error budget; use 'puzzlepiece'"
+                    )
+            elif "error_budget" in options and float(options["error_budget"]):
+                raise ConfigError(
+                    "backend_options.error_budget needs an approximate "
+                    "compositor; set \"compositor\": \"puzzlepiece\""
+                )
         return cls(
             sessions=sessions,
             size_policy=policy or SizePolicy(),

@@ -46,6 +46,56 @@ def traced(ctx: Any, name: str, gen: Generator) -> Generator:
     return result
 
 
+#: Latency of one global-interrupt broadcast across the full machine.
+#: The BG/P global-interrupt network is a dedicated OR/AND tree of
+#: single-bit signals spanning all racks; the hardware edge crosses the
+#: machine in well under a microsecond and MPI's barrier-on-interrupts
+#: path lands at a few microseconds end to end.
+GI_LATENCY_S = 1.3e-6
+
+
+def gi_barrier(ctx: Any) -> Generator:
+    """Barrier over the global-interrupt network (the BG/P hardware barrier).
+
+    Unlike :func:`barrier` — a dissemination barrier whose n·ceil(log2 n)
+    point-to-point messages ride the torus — the global-interrupt
+    network is a separate wired-AND tree: every rank raises its signal,
+    the AND fires when the last one arrives, and all ranks observe the
+    edge one fixed propagation latency later.  Zero torus messages,
+    zero bytes.  This is what makes a full-world synchronization point
+    affordable inside a compositing phase (the puzzlepiece drain
+    protocol), where a software barrier would cost more messages than
+    the optimization saves.
+
+    Only the monolithic engine wires the shared interrupt line; the
+    sharded parallel backend would need a cross-shard rendezvous and
+    rejects the call cleanly instead of hanging.
+    """
+    from repro.sim.events import Future
+
+    board = ctx.board
+    if not getattr(board, "gi_capable", False):
+        raise CommunicationError(
+            "gi_barrier requires the monolithic engine's global-interrupt "
+            "line; the sharded parallel backend does not wire it "
+            "(run without ParallelConfig)"
+        )
+    st = getattr(board, "_gi_pending", None)
+    if st is None:
+        st = board._gi_pending = {"arrived": 0, "future": Future(name="gi_barrier")}
+    st["arrived"] += 1
+    fut = st["future"]
+    if st["arrived"] == ctx.size:
+        # Last arrival: the wired AND fires.  Clear the rendezvous
+        # before resolving so a follow-up gi_barrier starts fresh.
+        board._gi_pending = None
+        fut.resolve(None)
+    yield fut
+    # Every rank observes the interrupt edge one propagation delay
+    # after the last arrival.
+    yield from ctx.compute(GI_LATENCY_S)
+
+
 def barrier(ctx: Any) -> Generator:
     """Dissemination barrier: ceil(log2 p) rounds, works for any p."""
     p = ctx.size

@@ -122,6 +122,11 @@ class RankContext:
     def barrier(self) -> Generator:
         return (yield from collectives.traced(self, "barrier", collectives.barrier(self)))
 
+    def gi_barrier(self) -> Generator:
+        """Hardware barrier on the global-interrupt network (no torus traffic)."""
+        return (yield from collectives.traced(
+            self, "gi_barrier", collectives.gi_barrier(self)))
+
     def bcast(self, data: Any, root: int = 0) -> Generator:
         return (yield from collectives.traced(
             self, "bcast", collectives.bcast(self, data, root)))

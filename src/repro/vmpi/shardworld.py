@@ -77,6 +77,10 @@ class ShardMessageBoard(MessageBoard):
     checks mirror the monolithic board's fault path.
     """
 
+    #: One shard cannot host a world-wide rendezvous; gi_barrier would
+    #: hang counting only shard-local arrivals, so it rejects cleanly.
+    gi_capable = False
+
     def __init__(self, network: ShardNetwork, nprocs: int):
         super().__init__(network, nprocs)
         self._src_seq: dict[int, int] = {}  # per-source-rank merge-key counter

@@ -423,6 +423,79 @@ class TestScenario:
         with pytest.raises(ConfigError, match="sessions"):
             FarmScenario.from_dict({"seed": 1})
 
+    def test_compositor_backend_option_accepted(self):
+        scenario = FarmScenario.from_dict(
+            {
+                "sessions": [{"name": "x", "requests": 2}],
+                "mode": "execute",
+                "backend_options": {
+                    "grid": 12, "world_cores": 4, "image": 16,
+                    "compositor": "puzzlepiece", "error_budget": 0.05,
+                },
+            }
+        )
+        backend = scenario.build().backend
+        assert backend.compositor == "puzzlepiece"
+        assert backend.error_budget == 0.05
+
+    def test_unknown_compositor_rejected_at_spec_load(self):
+        with pytest.raises(ConfigError, match="unknown compositor 'dbf'"):
+            FarmScenario.from_dict(
+                {
+                    "sessions": [{"name": "x"}],
+                    "mode": "execute",
+                    "backend_options": {"compositor": "dbf"},
+                }
+            )
+
+    def test_error_budget_on_exact_compositor_rejected(self):
+        with pytest.raises(ConfigError, match="exact"):
+            FarmScenario.from_dict(
+                {
+                    "sessions": [{"name": "x"}],
+                    "mode": "execute",
+                    "backend_options": {
+                        "compositor": "directsend", "error_budget": 0.1,
+                    },
+                }
+            )
+
+    def test_error_budget_without_compositor_rejected(self):
+        with pytest.raises(ConfigError, match="puzzlepiece"):
+            FarmScenario.from_dict(
+                {
+                    "sessions": [{"name": "x"}],
+                    "mode": "execute",
+                    "backend_options": {"error_budget": 0.1},
+                }
+            )
+
+    def test_negative_error_budget_rejected(self):
+        with pytest.raises(ConfigError, match=">= 0"):
+            FarmScenario.from_dict(
+                {
+                    "sessions": [{"name": "x"}],
+                    "mode": "execute",
+                    "backend_options": {
+                        "compositor": "puzzlepiece", "error_budget": -0.1,
+                    },
+                }
+            )
+
+    def test_execute_scenario_runs_with_dfb(self):
+        result = FarmScenario.from_dict(
+            {
+                "sessions": [{"name": "x", "requests": 3, "kind": "orbit"}],
+                "mode": "execute",
+                "backend_options": {
+                    "grid": 12, "world_cores": 4, "image": 16,
+                    "compositor": "dfb",
+                },
+            }
+        ).run()
+        assert len(result.records) == 3
+        assert all(not r.rejected and r.t_done > 0 for r in result.records)
+
     def test_selftest_scenario_is_fast_and_clean(self):
         result = selftest_scenario().run()
         assert len(result.records) == 28

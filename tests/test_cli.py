@@ -18,6 +18,29 @@ class TestCLI:
         text = capsys.readouterr().out
         assert "frame" in text and "compositors" in text
 
+    @pytest.mark.parametrize("name", ("dfb", "binaryswap", "radixk", "serial"))
+    def test_render_compositor_choices(self, tmp_path, capsys, name):
+        out = tmp_path / "frame.ppm"
+        rc = main([
+            "render", "--grid", "12", "--cores", "4", "--image", "16",
+            "--compositor", name, "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert f"compositor {name}" in capsys.readouterr().out
+
+    def test_render_puzzlepiece_reports_drops(self, tmp_path, capsys):
+        out = tmp_path / "frame.ppm"
+        rc = main([
+            "render", "--grid", "16", "--cores", "8", "--image", "32",
+            "--compositor", "puzzlepiece", "--error-budget", "0.05",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "compositor puzzlepiece" in text
+        assert "error bound" in text
+
     @pytest.mark.parametrize("fmt", ("raw", "h5lite"))
     def test_render_other_formats(self, tmp_path, fmt):
         out = tmp_path / "f.ppm"
