@@ -46,6 +46,7 @@ BASELINE_FILES = (
     "BENCH_parallel.json",
     "BENCH_farm.json",
     "BENCH_compositing.json",
+    "BENCH_timeseries.json",
 )
 
 

@@ -301,12 +301,14 @@ def _register_des() -> None:
     from benchmarks.perf.farm_serve import FARM_BENCHMARKS
     from benchmarks.perf.fault_overhead import FAULT_BENCHMARKS
     from benchmarks.perf.parallel_scale import PARALLEL_BENCHMARKS
+    from benchmarks.perf.timeseries_pipeline import TIMESERIES_BENCHMARKS
 
     BENCHMARKS.update(COMPOSITING_BENCHMARKS)
     BENCHMARKS.update(DES_BENCHMARKS)
     BENCHMARKS.update(FARM_BENCHMARKS)
     BENCHMARKS.update(FAULT_BENCHMARKS)
     BENCHMARKS.update(PARALLEL_BENCHMARKS)
+    BENCHMARKS.update(TIMESERIES_BENCHMARKS)
 
 
 _register_des()

@@ -11,7 +11,15 @@ final image is completed", split into I/O, rendering, and compositing).
 from repro.core.timing import FrameTiming
 from repro.core.pipeline import DegradePolicy, ParallelVolumeRenderer, FrameResult
 from repro.core.plan import FramePlan, FramePlanCache, block_world_bounds
-from repro.core.timeseries import TimeSeriesResult, render_time_series
+from repro.core.timeseries import (
+    FrameSlot,
+    PipelinedTimeSeriesRenderer,
+    PipelineTimeline,
+    TimeSeriesResult,
+    campaign_trace,
+    render_time_series,
+    simulate_pipeline,
+)
 
 __all__ = [
     "FrameTiming",
@@ -23,4 +31,9 @@ __all__ = [
     "block_world_bounds",
     "TimeSeriesResult",
     "render_time_series",
+    "FrameSlot",
+    "PipelineTimeline",
+    "PipelinedTimeSeriesRenderer",
+    "campaign_trace",
+    "simulate_pipeline",
 ]

@@ -145,8 +145,21 @@ class ParallelVolumeRenderer:
         # schedule) — time-series rendering reuses it across frames.
         self.plan_cache = FramePlanCache()
 
-    def render_frame(self, handle: DatasetHandle, log: AccessLog | None = None) -> FrameResult:
-        """Render one time step end to end; returns image + timing."""
+    def render_frame(
+        self,
+        handle: DatasetHandle,
+        log: AccessLog | None = None,
+        preread: Any = None,
+    ) -> FrameResult:
+        """Render one time step end to end; returns image + timing.
+
+        ``preread`` accepts an issued (or still pending)
+        :class:`~repro.pio.reader.AsyncBlockRead` for this handle —
+        the pipelined time-series renderer's prefetch.  The frame then
+        consumes the prefetched bytes instead of reading inline; the
+        async path produces the same plan, arrays, and report as the
+        inline read, so the frame stays bitwise identical.
+        """
         nprocs = self.world.nprocs
         grid = tuple(int(s) for s in handle.shape)
         if len(grid) != 3:
@@ -168,9 +181,20 @@ class ParallelVolumeRenderer:
         # mode blocks are read with their ghost layer (overlapping
         # reads); in 'exchange' mode exact blocks are read and halos
         # move as messages inside the frame program.
-        arrays, report = collective_read_blocks(
-            handle, plan.read_blocks, self.hints, self.stripe, log
-        )
+        if preread is None:
+            arrays, report = collective_read_blocks(
+                handle, plan.read_blocks, self.hints, self.stripe, log
+            )
+        else:
+            if preread.handle is not handle:
+                raise ConfigError("preread was issued for a different handle")
+            want = [(tuple(s), tuple(c)) for s, c in plan.read_blocks]
+            if preread.blocks != want:
+                raise ConfigError(
+                    "preread blocks do not match this frame's plan "
+                    "(camera/ghost configuration changed between issue and render)"
+                )
+            arrays, report = preread.wait()
         io_seconds = self.io_model.price(report, self.world.partition).seconds
 
         render_rate = (

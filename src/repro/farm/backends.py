@@ -29,9 +29,34 @@ it is admitted.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from repro.farm.request import FrameRequest
+
+
+@dataclass
+class CampaignPayload:
+    """What a pipelined campaign job delivers: all frames + overlap books.
+
+    Both backends return one of these for ``frames > 1`` requests, so
+    :meth:`FarmResult.campaign_stats
+    <repro.farm.result.FarmResult.campaign_stats>` can reconcile every
+    campaign's frame count and overlap saving against the request
+    ledger regardless of mode.  ``detail`` carries the mode-specific
+    goods: the rendered images (execute) or the per-frame estimate
+    (model).
+    """
+
+    frames: int
+    prefetch_depth: int
+    sequential_s: float  # no-overlap campaign time (stage sums)
+    makespan_s: float  # pipelined campaign wall clock
+    detail: Any = field(default=None, repr=False)
+
+    @property
+    def overlap_saved_s(self) -> float:
+        return self.sequential_s - self.makespan_s
 
 
 class ServiceBackend(Protocol):  # pragma: no cover - typing aid
@@ -84,6 +109,27 @@ class ModelBackend:
                 )
             est = model.estimate(cores, io_mode=request.io_mode)
             self._estimates[key] = est
+        if request.frames > 1:
+            # Campaign job: the analytic stage costs are camera-orbit
+            # invariant, so every frame shares one estimate; the
+            # pipelined makespan comes from the same schedule model the
+            # core campaign driver uses.
+            from repro.core.timeseries import simulate_pipeline
+
+            io = est.io.seconds
+            rc = est.render.seconds + est.composite.seconds
+            timeline = simulate_pipeline(
+                [io] * request.frames, [rc] * request.frames,
+                request.prefetch_depth,
+            )
+            payload = CampaignPayload(
+                frames=request.frames,
+                prefetch_depth=request.prefetch_depth,
+                sequential_s=request.frames * (io + rc),
+                makespan_s=timeline.makespan_s,
+                detail=est,
+            )
+            return payload.makespan_s, payload
         return est.total_s, est
 
 
@@ -184,6 +230,36 @@ class ExecuteBackend:
             elevation_deg=request.elevation_deg,
         )
         renderer = self._get_renderer(camera, self._transfer(request, value_range))
+        if request.frames > 1:
+            # Campaign job: the whole orbit animation renders through
+            # the pipelined driver on the *shared* renderer, so the
+            # service-wide FramePlanCache warms across frames and the
+            # service time is the overlapped campaign makespan, not the
+            # per-frame sum.
+            from repro.core.timeseries import PipelinedTimeSeriesRenderer
+
+            def orbit_camera(i: int) -> Any:
+                return Camera.looking_at_volume(
+                    self.grid,
+                    width=self.image,
+                    height=self.image,
+                    azimuth_deg=(request.azimuth_deg + i * request.orbit_deg) % 360.0,
+                    elevation_deg=request.elevation_deg,
+                )
+
+            campaign = PipelinedTimeSeriesRenderer(
+                renderer, prefetch_depth=request.prefetch_depth
+            ).render([handle] * request.frames, camera_factory=orbit_camera)
+            payload = CampaignPayload(
+                frames=request.frames,
+                prefetch_depth=request.prefetch_depth,
+                sequential_s=campaign.sequential_s,
+                makespan_s=campaign.makespan_s,
+                detail=campaign.images,
+            )
+            memo = (payload.makespan_s, payload)
+            self._frames[key] = memo
+            return memo
         result = renderer.render_frame(handle)
         memo = (result.timing.total_s, result.image)
         self._frames[key] = memo

@@ -21,7 +21,15 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class FrameRequest:
-    """One client's ask: render this frame on that many cores."""
+    """One client's ask: render this frame on that many cores.
+
+    A *campaign* request (``frames > 1``) asks for a whole pipelined
+    animation in one submission — ``frames`` camera-orbit frames
+    starting at ``azimuth_deg`` and advancing ``orbit_deg`` per frame,
+    rendered with depth-``prefetch_depth`` I/O prefetch.  It moves
+    through the service tier as one job: one queue slot, one partition,
+    one payload (all the frames).
+    """
 
     session: str
     seq: int  # per-session sequence number
@@ -34,6 +42,13 @@ class FrameRequest:
     io_mode: str = "raw"
     region: str = "global"  # edge region the request is served from
     tier: str = "standard"  # tenant class for admission control
+    frames: int = 1  # >1: a pipelined campaign (orbit animation) job
+    orbit_deg: float = 0.0  # campaign azimuth advance per frame
+    prefetch_depth: int = 1  # campaign I/O prefetch depth
+
+    @property
+    def is_campaign(self) -> bool:
+        return self.frames > 1
 
     @property
     def rid(self) -> str:
@@ -46,15 +61,22 @@ class FrameRequest:
 
         Camera angles are rounded so floating-point noise in workload
         generators cannot split logically identical frames across cache
-        entries.
+        entries.  A campaign's key additionally carries its frame count
+        and orbit step — the delivered payload is every frame of the
+        animation, so only an identical animation may share it.  The
+        prefetch depth is deliberately *not* part of the key: it
+        changes when the frames are ready, never what they contain.
         """
-        return (
+        key = (
             self.dataset,
             int(self.step),
             round(float(self.azimuth_deg) % 360.0, 6),
             round(float(self.elevation_deg), 6),
             self.variable,
         )
+        if self.frames > 1:
+            key += ("campaign", int(self.frames), round(float(self.orbit_deg), 6))
+        return key
 
 
 @dataclass

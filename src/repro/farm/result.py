@@ -163,6 +163,60 @@ class FarmResult:
     def throughput_rps(self) -> float:
         return len(self.records) / self.makespan_s if self.makespan_s else 0.0
 
+    # -- campaigns ----------------------------------------------------
+
+    def campaign_records(self) -> list[RequestRecord]:
+        """Served campaign jobs (one record = one whole animation)."""
+        return [r for r in self.records if r.request.is_campaign]
+
+    @property
+    def campaigns(self) -> int:
+        return len(self.campaign_records())
+
+    @property
+    def campaign_frames(self) -> int:
+        """Frames delivered inside campaign jobs (requests expanded)."""
+        return sum(r.request.frames for r in self.campaign_records())
+
+    @property
+    def frames_delivered(self) -> int:
+        """All frames the served requests carried (campaigns expanded)."""
+        return sum(r.request.frames for r in self.records)
+
+    def campaign_stats(self) -> dict | None:
+        """Per-campaign frame-throughput and overlap accounting.
+
+        ``None`` when the workload had no campaign sessions.  Throughput
+        is frames over the job's *service* span (the pipelined
+        makespan), so it reads directly as animation frame rate; cache/
+        edge/coalesced campaigns have no service span and are counted
+        but excluded from throughput.
+        """
+        recs = self.campaign_records()
+        if not recs:
+            return None
+        served = [r for r in recs if r.serve_s > 0]
+        fps = [r.request.frames / r.serve_s for r in served]
+        saved = 0.0
+        depths = set()
+        for r in recs:
+            p = r.payload
+            if p is not None and hasattr(p, "overlap_saved_s"):
+                saved += float(p.overlap_saved_s)
+                depths.add(int(p.prefetch_depth))
+        return {
+            "campaigns": len(recs),
+            "frames": self.campaign_frames,
+            "rendered": len(served),
+            "prefetch_depths": sorted(depths),
+            "frames_per_s": {
+                "mean": float(np.mean(fps)) if fps else 0.0,
+                "min": float(np.min(fps)) if fps else 0.0,
+                "max": float(np.max(fps)) if fps else 0.0,
+            },
+            "overlap_saved_s": saved,
+        }
+
     # -- views --------------------------------------------------------
 
     def session_records(self, session: str) -> list[RequestRecord]:
@@ -192,6 +246,9 @@ class FarmResult:
             {"faults": self.faults.summary()} if self.faults is not None else {}
         )
         extra = {}
+        campaigns = self.campaign_stats()
+        if campaigns is not None:
+            extra["campaigns"] = campaigns
         if self.edge is not None:
             extra["edge"] = self.edge
         if self.admission is not None:
@@ -306,6 +363,28 @@ class FarmResult:
                 f"records {len(self.rejected)}"
             )
 
+        for r in self.campaign_records():
+            p = r.payload
+            if p is None:
+                continue  # shed before service; nothing was promised
+            if not hasattr(p, "frames"):
+                fails.append(
+                    f"campaign {r.request.rid} delivered a non-campaign "
+                    f"payload {type(p).__name__}"
+                )
+                continue
+            if int(p.frames) != int(r.request.frames):
+                fails.append(
+                    f"campaign {r.request.rid} asked for {r.request.frames} "
+                    f"frames, payload carries {p.frames}"
+                )
+            if p.overlap_saved_s < -1e-9:
+                fails.append(
+                    f"campaign {r.request.rid} pipelined makespan "
+                    f"{p.makespan_s:.6f}s exceeds its sequential time "
+                    f"{p.sequential_s:.6f}s"
+                )
+
         if self.trace is not None and self.trace.enabled:
             names: dict[str, int] = {}
             for span in self.trace.spans:
@@ -347,6 +426,14 @@ class FarmResult:
             f"({100.0 * self.cache_hit_rate:.1f}%), plan {self.plan_hits} hits / "
             f"{self.plan_misses} misses",
         ]
+        campaigns = self.campaign_stats()
+        if campaigns is not None:
+            lines.append(
+                f"  campaigns    {campaigns['campaigns']} jobs / "
+                f"{campaigns['frames']} frames, "
+                f"{campaigns['frames_per_s']['mean']:.3f} frames/s mean, "
+                f"overlap saved {fmt_time(campaigns['overlap_saved_s'])}"
+            )
         if self.edge is not None:
             lines.append(
                 f"  edge         {self.edge['hits']} hits / {self.edge['misses']} "

@@ -262,7 +262,7 @@ class RenderFarm:
         gaps = spec.interarrivals(self.workload.seed)
         if spec.start_s > 0:
             yield float(spec.start_s)
-        for i in range(spec.requests):
+        for i in range(spec.submissions):
             yield float(gaps[i])
             self._submit(spec.request(i))
 
@@ -270,7 +270,7 @@ class RenderFarm:
         thinks = spec.think_times(self.workload.seed)
         if spec.start_s > 0:
             yield float(spec.start_s)
-        for i in range(spec.requests):
+        for i in range(spec.submissions):
             done = self._submit(spec.request(i))
             yield done
             if thinks[i] > 0:

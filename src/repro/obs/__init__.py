@@ -16,6 +16,7 @@ from repro.obs.tracer import (
     CAT_FARM,
     CAT_FAULT,
     CAT_IO,
+    CAT_PREFETCH,
     CAT_PROC,
     CAT_STAGE,
     STAGES,
@@ -42,6 +43,7 @@ __all__ = [
     "CAT_ADMIT",
     "CAT_FAULT",
     "CAT_IO",
+    "CAT_PREFETCH",
     "CAT_PROC",
     "chrome_trace",
     "write_chrome_trace",

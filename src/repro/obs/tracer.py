@@ -38,6 +38,7 @@ CAT_FARM = "farm"  # rendering-service request phases (queue/alloc/serve)
 CAT_EDGE = "edge"  # edge-tier activity (regional hits, coalesced joins, invalidations)
 CAT_ADMIT = "admit"  # admission-control decisions (load-shed rejections)
 CAT_FAULT = "fault"  # injected failures + recovery actions (crash/retry/failover)
+CAT_PREFETCH = "prefetch"  # campaign-level pipelined I/O + compute lanes
 
 #: The frame stages, in pipeline order (Sec. III-B).
 STAGES = ("io", "render", "composite")

@@ -21,6 +21,7 @@ from repro.pio.twophase import (
     TwoPhasePlan,
     plan_two_phase,
     plan_data_sieving,
+    PendingCollectiveRead,
     TwoPhaseReader,
 )
 from repro.pio.reader import (
@@ -29,7 +30,9 @@ from repro.pio.reader import (
     NetCDFHandle,
     H5LiteHandle,
     IOReport,
+    AsyncBlockRead,
     collective_read_blocks,
+    collective_read_blocks_async,
     collective_read_blocks_multi,
     plan_read_blocks,
 )
@@ -41,13 +44,16 @@ __all__ = [
     "TwoPhasePlan",
     "plan_two_phase",
     "plan_data_sieving",
+    "PendingCollectiveRead",
     "TwoPhaseReader",
     "DatasetHandle",
     "RawHandle",
     "NetCDFHandle",
     "H5LiteHandle",
     "IOReport",
+    "AsyncBlockRead",
     "collective_read_blocks",
+    "collective_read_blocks_async",
     "collective_read_blocks_multi",
     "plan_read_blocks",
 ]

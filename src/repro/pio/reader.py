@@ -177,6 +177,82 @@ class IOReport:
         return self.plan.mean_access_bytes
 
 
+class AsyncBlockRead:
+    """A collective block read split into plan → issue → wait.
+
+    The prefetch primitive of the pipelined time-series renderer: the
+    access plan (and hence the :class:`IOReport` the timing models
+    price) is available immediately after construction; :meth:`issue`
+    performs the physical reads; :meth:`wait` assembles and decodes.
+    Metadata accesses are logged at construction and the physical reads
+    at issue time, in the exact order the sequential
+    :func:`collective_read_blocks` produces — issuing prefetches in
+    frame order therefore keeps the access log bitwise identical.
+    """
+
+    def __init__(
+        self,
+        handle: DatasetHandle,
+        blocks: Sequence[Block],
+        hints: IOHints | None = None,
+        stripe: StripeConfig | None = None,
+        log: AccessLog | None = None,
+    ):
+        self.handle = handle
+        self.blocks = [(tuple(s), tuple(c)) for s, c in blocks]
+        hints = hints or IOHints()
+        log = log if log is not None else AccessLog()
+        striped = StripedFile(_store_of(handle), stripe, name=handle.name)
+        reader = TwoPhaseReader(striped, hints, log)
+        per_rank_ranges = [
+            list(handle.subarray_ranges(start, count)) for start, count in blocks
+        ]
+        meta = handle.meta_ranges()
+        for _rank in range(len(blocks)):
+            for off, ln in meta:
+                log.record(off, ln, kind="meta")
+        self._pending = reader.begin_collective_read(per_rank_ranges)
+        self.report = IOReport(
+            plan=self._pending.plan,
+            requested_bytes=sum(sum(l for _, l in r) for r in per_rank_ranges),
+            meta_accesses_per_proc=len(meta),
+            meta_bytes_per_proc=sum(l for _, l in meta),
+            nprocs=len(blocks),
+            file_bytes=handle.file_size(),
+        )
+        self._arrays: list[np.ndarray] | None = None
+
+    @property
+    def issued(self) -> bool:
+        return self._pending.issued
+
+    def issue(self) -> "AsyncBlockRead":
+        """Perform the physical reads (phase 1); idempotent."""
+        self._pending.issue()
+        return self
+
+    def wait(self) -> tuple[list[np.ndarray], IOReport]:
+        """Assemble and decode each rank's block; issues first if needed."""
+        if self._arrays is None:
+            raw_per_rank, _plan = self._pending.wait()
+            self._arrays = [
+                self.handle.decode(raw, count)
+                for raw, (_start, count) in zip(raw_per_rank, self.blocks)
+            ]
+        return self._arrays, self.report
+
+
+def collective_read_blocks_async(
+    handle: DatasetHandle,
+    blocks: Sequence[Block],
+    hints: IOHints | None = None,
+    stripe: StripeConfig | None = None,
+    log: AccessLog | None = None,
+) -> AsyncBlockRead:
+    """Start a collective block read; returns a plan/issue/wait handle."""
+    return AsyncBlockRead(handle, blocks, hints, stripe, log)
+
+
 def collective_read_blocks(
     handle: DatasetHandle,
     blocks: Sequence[Block],
@@ -190,28 +266,7 @@ def collective_read_blocks(
     real bytes move.  Metadata reads are charged once per rank and
     logged as ``meta`` accesses.
     """
-    hints = hints or IOHints()
-    log = log if log is not None else AccessLog()
-    striped = StripedFile(_store_of(handle), stripe, name=handle.name)
-    reader = TwoPhaseReader(striped, hints, log)
-    per_rank_ranges = [list(handle.subarray_ranges(start, count)) for start, count in blocks]
-    meta = handle.meta_ranges()
-    for _rank in range(len(blocks)):
-        for off, ln in meta:
-            log.record(off, ln, kind="meta")
-    raw_per_rank, plan = reader.collective_read(per_rank_ranges)
-    arrays = [
-        handle.decode(raw, count) for raw, (_start, count) in zip(raw_per_rank, blocks)
-    ]
-    report = IOReport(
-        plan=plan,
-        requested_bytes=sum(sum(l for _, l in r) for r in per_rank_ranges),
-        meta_accesses_per_proc=len(meta),
-        meta_bytes_per_proc=sum(l for _, l in meta),
-        nprocs=len(blocks),
-        file_bytes=handle.file_size(),
-    )
-    return arrays, report
+    return AsyncBlockRead(handle, blocks, hints, stripe, log).issue().wait()
 
 
 def collective_read_blocks_multi(

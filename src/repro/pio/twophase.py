@@ -234,6 +234,62 @@ def _pieces_within(
     return out
 
 
+class PendingCollectiveRead:
+    """One collective read split into plan → issue → wait.
+
+    The sequential :meth:`TwoPhaseReader.collective_read` is exactly
+    ``begin().issue().wait()`` — the split exists so a pipelined
+    time-series campaign can compute the access plan (and price it)
+    for timestep t+1, issue the physical reads, and defer the phase-2
+    assembly until frame t's compute has drained the previous buffer.
+    The physical reads and their log records happen at :meth:`issue`
+    time, in plan order, so the byte stream and the access log are
+    bitwise identical to the sequential path.
+    """
+
+    def __init__(self, reader: "TwoPhaseReader", per_rank_ranges: Sequence[Sequence[Interval]]):
+        self._reader = reader
+        self._per_rank_ranges = [list(r) for r in per_rank_ranges]
+        all_ranges = [r for ranges in per_rank_ranges for r in ranges]
+        self.plan = plan_two_phase(all_ranges, reader.hints, reader.file.size())
+        self._buffers: list[tuple[int, bytes]] | None = None
+        self._result: list[bytes] | None = None
+
+    @property
+    def issued(self) -> bool:
+        return self._buffers is not None
+
+    def issue(self) -> "PendingCollectiveRead":
+        """Phase 1: the aggregators' physical reads (logged); idempotent."""
+        if self._buffers is None:
+            reader = self._reader
+            buffers: list[tuple[int, bytes]] = []
+            for a in self.plan.accesses:
+                data = reader.file.read(a.offset, a.length)
+                reader.log.record(a.offset, a.length, kind="read", actor=a.aggregator)
+                buffers.append((a.offset, data))
+            buffers.sort(key=lambda t: t[0])
+            self._buffers = buffers
+        return self
+
+    def wait(self) -> tuple[list[bytes], TwoPhasePlan]:
+        """Phase 2: assemble each rank's bytes; issues first if needed."""
+        if self._result is None:
+            self.issue()
+            assert self._buffers is not None
+            starts = [b[0] for b in self._buffers]
+            out: list[bytes] = []
+            for ranges in self._per_rank_ranges:
+                parts = [
+                    TwoPhaseReader._extract(self._buffers, starts, off, length)
+                    for off, length in ranges
+                ]
+                out.append(b"".join(parts))
+            self._result = out
+            self._buffers = []  # release the window buffers
+        return self._result, self.plan
+
+
 class TwoPhaseReader:
     """Functionally executes collective reads against a striped file."""
 
@@ -241,6 +297,12 @@ class TwoPhaseReader:
         self.file = file
         self.hints = hints or IOHints()
         self.log = log if log is not None else AccessLog()
+
+    def begin_collective_read(
+        self, per_rank_ranges: Sequence[Sequence[Interval]]
+    ) -> PendingCollectiveRead:
+        """Plan a collective read without touching storage yet."""
+        return PendingCollectiveRead(self, per_rank_ranges)
 
     def collective_read(
         self, per_rank_ranges: Sequence[Sequence[Interval]]
@@ -250,24 +312,7 @@ class TwoPhaseReader:
         Returns each rank's requested bytes concatenated in its own
         range order, plus the plan (for timing models and reports).
         """
-        all_ranges = [r for ranges in per_rank_ranges for r in ranges]
-        plan = plan_two_phase(all_ranges, self.hints, self.file.size())
-        # Phase 1: physical reads (logged).
-        buffers: list[tuple[int, bytes]] = []
-        for a in plan.accesses:
-            data = self.file.read(a.offset, a.length)
-            self.log.record(a.offset, a.length, kind="read", actor=a.aggregator)
-            buffers.append((a.offset, data))
-        buffers.sort(key=lambda t: t[0])
-        starts = [b[0] for b in buffers]
-        # Phase 2: assemble each rank's ranges from the buffers.
-        out: list[bytes] = []
-        for ranges in per_rank_ranges:
-            parts: list[bytes] = []
-            for off, length in ranges:
-                parts.append(self._extract(buffers, starts, off, length))
-            out.append(b"".join(parts))
-        return out, plan
+        return self.begin_collective_read(per_rank_ranges).issue().wait()
 
     def independent_read(self, ranges: Sequence[Interval], rank: int = 0) -> tuple[bytes, TwoPhasePlan]:
         """One process's data-sieving read (no aggregation)."""

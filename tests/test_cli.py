@@ -70,6 +70,33 @@ class TestCLI:
         text = capsys.readouterr().out
         assert "spans" in text and "per-stage breakdown" in text
 
+    def test_timeseries_check_and_outputs(self, tmp_path, capsys):
+        import json
+
+        trace_out = tmp_path / "campaign.json"
+        rc = main([
+            "timeseries", "--steps", "3", "--grid", "12", "--cores", "8",
+            "--image", "24", "--prefetch-depth", "2", "--check",
+            "--trace-out", str(trace_out), "--out", str(tmp_path / "frame"),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "bitwise identical to the sequential oracle" in text
+        assert "pipelined" in text and "saved" in text
+        doc = json.loads(trace_out.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "read[0]" in names and "frame[2]" in names
+        for i in range(3):
+            assert (tmp_path / f"frame{i:04d}.ppm").exists()
+
+    def test_timeseries_raw_fair_discipline(self, capsys):
+        rc = main([
+            "timeseries", "--steps", "2", "--grid", "12", "--cores", "4",
+            "--image", "24", "--format", "raw", "--discipline", "fair",
+            "--orbit-degrees", "0", "--check",
+        ])
+        assert rc == 0
+
     def test_model_prints_breakdown(self, capsys):
         rc = main(["model", "--dataset", "1120", "--cores", "16384"])
         assert rc == 0
