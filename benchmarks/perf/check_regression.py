@@ -3,7 +3,8 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/check_regression.py
-        [--tolerance 0.25] [--update] [--only NAME ...] [--profile]
+        [--tolerance 0.25] [--update] [--only NAME ...] [--list]
+        [--profile]
 
 Re-runs every ``guard: true`` benchmark and fails (exit 1) if any
 kernel is more than ``tolerance`` (default 25%) slower than its
@@ -18,9 +19,13 @@ entry is appended to its baseline file and reported with a
 guard is enough to seed its baseline.
 
 ``--update`` instead regenerates the baselines in full (including the
-slow reference kernel).  ``--only`` restricts the guard to the named
-kernels — the CI ``des-scale-smoke`` / ``parallel-des-smoke`` jobs use
-it to run single benchmarks under their wall-clock budgets.
+slow reference kernel); with ``--only`` it re-baselines just the named
+kernels, leaving every other committed entry untouched.  ``--only``
+restricts the guard to the named kernels — the CI ``des-scale-smoke``
+/ ``parallel-des-smoke`` jobs use it to run single benchmarks under
+their wall-clock budgets.  Names are validated against the full
+registry; ``--list`` prints it (with each kernel's baseline file,
+guard flag, and committed seconds) and exits.
 ``--profile`` runs each selected benchmark under :mod:`cProfile` and
 prints the top cumulative-time functions per benchmark instead of
 checking regressions (see DESIGN.md on the engine/kernel split).
@@ -47,6 +52,7 @@ BASELINE_FILES = (
     "BENCH_farm.json",
     "BENCH_compositing.json",
     "BENCH_timeseries.json",
+    "BENCH_progressive.json",
 )
 
 
@@ -133,6 +139,11 @@ def main(argv=None) -> int:
         help="restrict the guard to these benchmark names",
     )
     parser.add_argument(
+        "--list", action="store_true",
+        help="list the registered benchmarks (name, baseline file, "
+        "guard flag, committed seconds) and exit",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="cProfile each benchmark and print top cumulative functions "
         "(skips the regression comparison)",
@@ -149,8 +160,35 @@ def main(argv=None) -> int:
     from benchmarks.perf.run_perf import main as regen
     from benchmarks.perf.suite import BENCHMARKS
 
+    # ``--only`` names are validated against the *full* registry (not
+    # just the guarded set): a typo should list every real benchmark,
+    # and explicitly naming an unguarded kernel is a request to run it.
+    if args.only:
+        unknown = sorted(set(args.only) - set(BENCHMARKS))
+        if unknown:
+            print(
+                f"error: unknown benchmark name(s): {', '.join(unknown)}\n"
+                f"known benchmarks: {', '.join(sorted(BENCHMARKS))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.list:
+        baselines, _missing = load_baselines(root)
+        print(f"{'benchmark':<34} {'baseline file':<26} {'guard':>5} {'seconds':>10}")
+        for name in sorted(BENCHMARKS):
+            _fn, filename = BENCHMARKS[name]
+            entry = baselines.get(name)
+            guard = "yes" if (entry or {}).get("guard") else "no"
+            secs = f"{entry['seconds']:.4f}" if entry else "(none)"
+            print(f"{name:<34} {filename:<26} {guard:>5} {secs:>10}")
+        return 0
+
     if args.update:
-        return regen(["--out", str(root)])
+        argv = ["--out", str(root)]
+        if args.only:
+            argv.extend(["--names", *args.only])
+        return regen(argv)
 
     baselines, missing_files = load_baselines(root)
     if not baselines and not missing_files:
@@ -167,17 +205,17 @@ def main(argv=None) -> int:
     new_names = [n for n in BENCHMARKS if n not in baselines]
     selected = guarded + new_names
     if args.only:
-        unknown = [n for n in args.only if n not in selected]
-        if unknown:
-            print(
-                f"error: --only names not in the guarded set: "
-                f"{', '.join(unknown)} (guarded: {', '.join(sorted(selected))})",
-                file=sys.stderr,
-            )
-            return 2
         only = set(args.only)
         guarded = [n for n in guarded if n in only]
         new_names = [n for n in new_names if n in only]
+        # Names with a committed baseline that is not normally guarded
+        # (guard: false reference kernels): an explicit request runs
+        # them and compares against their committed entry anyway.
+        extra = [
+            n for n in args.only
+            if n in baselines and n not in guarded and n not in new_names
+        ]
+        guarded += extra
         selected = guarded + new_names
 
     if args.profile:

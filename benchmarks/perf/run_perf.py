@@ -3,7 +3,7 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py
-        [--out DIR] [--files BENCH_des.json ...]
+        [--out DIR] [--files BENCH_des.json ...] [--names NAME ...]
 
 Runs every benchmark (including the slow pre-PR reference kernel),
 computes the render-kernel speedup and the equivalence check, and
@@ -11,7 +11,11 @@ writes ``BENCH_render.json``, ``BENCH_pipeline.json`` and
 ``BENCH_des.json`` to the repo root (or ``--out``).  ``--files``
 regenerates only the named baseline files, leaving the others
 committed as-is — used to add the DES-scale baselines without
-re-baselining the render/pipeline kernels.
+re-baselining the render/pipeline kernels.  ``--names`` goes one step
+finer: re-run only the named benchmarks and *merge* their fresh
+entries into the committed files, preserving every other entry (and
+the file's meta block) — this is what ``repro bench --update --only
+NAME`` forwards to.
 """
 
 from __future__ import annotations
@@ -143,13 +147,56 @@ def main(argv=None) -> int:
         "--files", nargs="+", metavar="BENCH_FILE", default=None,
         help="regenerate only these baseline files (default: all)",
     )
+    parser.add_argument(
+        "--names", nargs="+", metavar="NAME", default=None,
+        help="re-run only these benchmarks and merge their entries into "
+        "the committed baseline files (other entries are preserved)",
+    )
     args = parser.parse_args(argv)
     out = pathlib.Path(args.out)
 
+    if args.names:
+        from benchmarks.perf.suite import BENCHMARKS
+
+        unknown = sorted(set(args.names) - set(BENCHMARKS))
+        if unknown:
+            print(
+                f"error: unknown benchmark name(s): {', '.join(unknown)}\n"
+                f"known benchmarks: {', '.join(sorted(BENCHMARKS))}",
+                file=sys.stderr,
+            )
+            return 2
+
     print("perf baseline run (includes the slow reference kernel)")
-    by_file = collect(files=set(args.files) if args.files else None)
+    by_file = collect(
+        names=set(args.names) if args.names else None,
+        files=set(args.files) if args.files else None,
+    )
 
     for filename, entries in by_file.items():
+        path = out / filename
+        if args.names:
+            # Partial re-baseline: merge the fresh entries into the
+            # committed file, keeping everything else (entries not
+            # re-run, and any derived meta — a partial run cannot
+            # recompute cross-entry metrics like the kernel speedup).
+            if path.exists():
+                doc = json.loads(path.read_text())
+            else:
+                doc = {
+                    "meta": {
+                        "python": platform.python_version(),
+                        "machine": platform.machine(),
+                    },
+                    "benchmarks": [],
+                }
+            fresh_names = {e["name"] for e in entries}
+            doc["benchmarks"] = [
+                e for e in doc["benchmarks"] if e["name"] not in fresh_names
+            ] + entries
+            path.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"merged {len(entries)} entries into {path}")
+            continue
         meta = {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -161,7 +208,6 @@ def main(argv=None) -> int:
         elif filename == "BENCH_parallel.json":
             meta.update(_parallel_meta(entries))
         doc = {"meta": meta, "benchmarks": entries}
-        path = out / filename
         path.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {path}")
     return 0

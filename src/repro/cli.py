@@ -10,8 +10,16 @@ The commands cover the tour a new user takes:
   steps with depth-k prefetched collective I/O, print the overlap
   books (sequential vs pipelined makespan), and optionally verify the
   frames bitwise against the sequential oracle (``--check``).
+* ``progressive`` — render one request as a coarse-to-fine resolution
+  ladder (time to first pixel long before the full frame), optionally
+  cancelling the fine levels on a mid-ladder camera move, and verify
+  the final level is bitwise identical to a direct full-res render
+  (``--check``).
 * ``model``     — price a paper-scale frame (any dataset x cores x I/O
   mode) and print the Fig. 3/Table II style breakdown.
+* ``insitu``    — price in-situ vs post-hoc visualization of a
+  simulation campaign: what the storage round-trip costs when every
+  rendered frame must be read back from disk first.
 * ``scorecard`` — the calibration-vs-paper fidelity table.
 * ``inventory`` — the modeled machine and storage system.
 * ``bench``     — run the perf microbenchmarks against the committed
@@ -143,6 +151,50 @@ def build_parser() -> argparse.ArgumentParser:
         "are bitwise identical (the CI smoke)",
     )
 
+    p_prog = sub.add_parser(
+        "progressive",
+        help="render a coarse-to-fine resolution ladder (progressive refinement)",
+    )
+    p_prog.add_argument("--grid", type=int, default=12, help="cubic grid edge (default 12)")
+    p_prog.add_argument("--cores", type=int, default=8, help="simulated cores (default 8)")
+    p_prog.add_argument(
+        "--image", type=int, default=24, help="full-resolution image edge (default 24)"
+    )
+    p_prog.add_argument(
+        "--levels", type=int, default=3,
+        help="ladder levels, coarsest first (default 3: 6^2, 12^2, 24^2)",
+    )
+    p_prog.add_argument("--variable", default="vx", help="field to render (default vx)")
+    p_prog.add_argument("--seed", type=int, default=1530)
+    p_prog.add_argument("--step", type=float, default=0.8, help="ray sampling step")
+    p_prog.add_argument(
+        "--cancel-after", type=float, default=None, metavar="SECONDS",
+        help="simulated camera-move time: cancel the un-started levels "
+        "after this many seconds (default: let the ladder complete)",
+    )
+    p_prog.add_argument(
+        "--compositor", default="directsend",
+        choices=("directsend", "dfb", "puzzlepiece", "binaryswap", "radixk", "serial"),
+        help="compositing backend (default directsend)",
+    )
+    p_prog.add_argument(
+        "--workers", type=int, default=1,
+        help="DES worker processes (>1 selects the sharded parallel backend)",
+    )
+    p_prog.add_argument(
+        "--out", default=None, metavar="PREFIX",
+        help="write each delivered level as PREFIX_L0.ppm, PREFIX_L1.ppm, ...",
+    )
+    p_prog.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="Chrome trace of the ladder (per-level spans + TTFP marker)",
+    )
+    p_prog.add_argument(
+        "--check", action="store_true",
+        help="verify ladder accounting and that the final level is bitwise "
+        "identical to a direct full-resolution render (the CI smoke)",
+    )
+
     p_model = sub.add_parser("model", help="price a paper-scale frame")
     p_model.add_argument("--dataset", default="1120", choices=("1120", "2240", "4480"))
     p_model.add_argument("--cores", type=int, default=16384)
@@ -153,6 +205,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_model.add_argument(
         "--original-compositing", action="store_true",
         help="use m = n compositors (the pre-improvement scheme)",
+    )
+
+    p_insitu = sub.add_parser(
+        "insitu", help="price in-situ vs post-hoc campaign visualization"
+    )
+    p_insitu.add_argument("--dataset", default="1120", choices=("1120", "2240", "4480"))
+    p_insitu.add_argument("--cores", type=int, default=16384)
+    p_insitu.add_argument(
+        "--io-mode", default="netcdf",
+        choices=("raw", "netcdf", "netcdf-tuned", "netcdf64", "h5lite"),
+        help="post-hoc storage format (default netcdf, the paper's)",
+    )
+    p_insitu.add_argument(
+        "--steps", type=int, default=100, metavar="N",
+        help="simulation time steps in the campaign (default 100)",
+    )
+    p_insitu.add_argument(
+        "--render-every", type=int, default=10, metavar="K",
+        help="render every K-th step (default 10)",
+    )
+    p_insitu.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable JSON comparison instead of the table",
     )
 
     sub.add_parser("scorecard", help="fidelity of the model vs the paper's numbers")
@@ -172,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--only", nargs="+", metavar="NAME", default=None,
         help="restrict the guard to these benchmark names",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true",
+        help="list the registered benchmarks and their baselines, then exit",
     )
     p_bench.add_argument(
         "--profile", action="store_true",
@@ -198,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--edge-selftest", action="store_true",
         help="run the service-tier miniature (coalescing, edge caches, "
         "admission, autoscaling) and check its accounting",
+    )
+    p_farm.add_argument(
+        "--interactive-selftest", action="store_true",
+        help="run the progressive-refinement miniature (ladder "
+        "cancellation, coarse-level caching, TTFP accounting)",
     )
     p_farm.add_argument(
         "--json", action="store_true",
@@ -231,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON chaos spec (scenario, sweep, repair_s, max_crashes, seed)",
     )
     p_chaos.add_argument(
-        "--scenario", default=None, choices=("selftest", "default"),
+        "--scenario", default=None, choices=("selftest", "default", "interactive"),
         help="built-in base scenario (default selftest; ignored with --spec)",
     )
     p_chaos.add_argument(
@@ -429,6 +513,98 @@ def cmd_timeseries(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_progressive(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import ParallelVolumeRenderer
+    from repro.data import SupernovaModel, extract_variable_raw
+    from repro.obs import Tracer
+    from repro.pio import IOHints, RawHandle
+    from repro.progressive import ProgressiveRenderer, ProgressiveSession
+    from repro.render import Camera, TransferFunction
+    from repro.utils.units import fmt_time
+    from repro.vmpi import MPIWorld, ParallelConfig
+
+    grid = (args.grid,) * 3
+    model = SupernovaModel(grid, seed=args.seed)
+    volume = model.field(args.variable)
+    handle = RawHandle(extract_variable_raw(model, args.variable))
+    camera = Camera.looking_at_volume(grid, width=args.image, height=args.image)
+    transfer = TransferFunction.supernova(*model.value_range(args.variable))
+    parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
+    renderer = ParallelVolumeRenderer(
+        MPIWorld.for_cores(args.cores), camera, transfer, step=args.step,
+        hints=IOHints(cb_buffer_size=1 << 16, cb_nodes=max(args.cores // 4, 1)),
+        parallel=parallel, compositor=args.compositor,
+    )
+    tracer = Tracer(enabled=True) if args.trace_out else None
+    progressive = ProgressiveRenderer(renderer, levels=args.levels, tracer=tracer)
+    if args.cancel_after is not None:
+        result = ProgressiveSession(progressive).run(
+            handle, field=volume, cancel_after_s=args.cancel_after
+        )
+    else:
+        result = progressive.render_ladder(handle, field=volume)
+
+    failures = result.accounting_failures()
+    if args.check:
+        if result.final is not None:
+            direct = renderer.render_frame(handle)
+            final = result.final
+            if not np.array_equal(final.image, direct.image):
+                failures.append("final level image differs from the direct render")
+            if final.timing != direct.timing:
+                failures.append("final level timing differs from the direct render")
+            if final.messages != direct.messages:
+                failures.append("final level message count differs from the direct render")
+            if final.bytes_sent != direct.bytes_sent:
+                failures.append("final level byte count differs from the direct render")
+        elif args.cancel_after is None:
+            failures.append("complete ladder delivered no full-resolution level")
+    if failures:
+        for failure in failures:
+            print(f"progressive FAILED: {failure}", file=sys.stderr)
+        return 2
+
+    print(
+        f"{args.grid}^3 grid, {args.cores} cores, {args.compositor} "
+        f"compositing: {len(result.levels)}/{result.levels_planned} ladder "
+        f"levels delivered"
+    )
+    print(f"  {'level':>5} {'pixels':>9} {'start':>10} {'done':>10} {'render':>10}")
+    for lf in result.levels:
+        print(
+            f"  {lf.index:>5} {f'{lf.width}^2':>9} {fmt_time(lf.t_start_s):>10} "
+            f"{fmt_time(lf.t_done_s):>10} {fmt_time(lf.duration_s):>10}"
+        )
+    print(
+        f"  first pixel {fmt_time(result.ttfp_s)}, full ladder "
+        f"{fmt_time(result.total_s)}"
+        + (f" (truncated by the degrade policy)" if result.truncated else "")
+    )
+    if result.cancelled:
+        print(
+            f"  camera move at {fmt_time(args.cancel_after)} cancelled "
+            f"{result.cancelled_levels} level(s)"
+        )
+    if args.check and result.final is not None:
+        print("  check: final level bitwise identical to the direct full-res render")
+    if args.out:
+        from repro.render.image import image_to_ppm
+
+        for lf in result.levels:
+            path = f"{args.out}_L{lf.index}.ppm"
+            with open(path, "wb") as fh:
+                fh.write(image_to_ppm(lf.frame.image, background=(0.02, 0.02, 0.05)))
+        print(f"  wrote {len(result.levels)} levels to {args.out}_L0.ppm ...")
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace_out)
+        print(f"  trace: {args.trace_out} (load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     from repro.model import DATASETS, FrameModel
     from repro.utils.units import fmt_bandwidth
@@ -449,6 +625,64 @@ def cmd_model(args: argparse.Namespace) -> int:
     print(f"  composite  {est.composite.seconds:10.3f} s  ({est.pct_composite:5.1f}%)  "
           f"{est.composite.num_messages} messages")
     print(f"  total      {est.total_s:10.2f} s")
+    return 0
+
+
+def cmd_insitu(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.model import DATASETS, FrameModel
+    from repro.utils.errors import ConfigError
+    from repro.utils.units import fmt_time
+
+    if args.steps < 1:
+        raise ConfigError(f"--steps must be >= 1, got {args.steps}")
+    if args.render_every < 1:
+        raise ConfigError(f"--render-every must be >= 1, got {args.render_every}")
+    fm = FrameModel(DATASETS[args.dataset])
+    est = fm.estimate(args.cores, io_mode=args.io_mode)
+    frames = len(range(0, args.steps, args.render_every))
+    compute_s = (est.render.seconds + est.composite.seconds) * frames
+    io_s = est.io.seconds * frames
+    posthoc_s = io_s + compute_s
+    insitu_s = compute_s
+    report = {
+        "dataset": args.dataset,
+        "grid": est.dataset.grid,
+        "image": est.dataset.image,
+        "cores": args.cores,
+        "io_mode": args.io_mode,
+        "steps": args.steps,
+        "render_every": args.render_every,
+        "frames": frames,
+        "per_frame": {
+            "io_s": est.io.seconds,
+            "render_s": est.render.seconds,
+            "composite_s": est.composite.seconds,
+        },
+        "posthoc_s": posthoc_s,
+        "insitu_s": insitu_s,
+        "io_avoided_s": io_s,
+        "speedup": posthoc_s / insitu_s if insitu_s else None,
+    }
+    if args.json:
+        json.dump(report, sys.stdout, indent=1)
+        print()
+        return 0
+    print(
+        f"{est.dataset.grid}^3 x {args.steps} steps, rendering every "
+        f"{args.render_every} ({frames} frames), {args.cores} cores, "
+        f"{args.io_mode} storage"
+    )
+    print(
+        f"  post-hoc  {fmt_time(posthoc_s):>10}  "
+        f"(read {fmt_time(io_s)} + render {fmt_time(compute_s)})"
+    )
+    print(f"  in-situ   {fmt_time(insitu_s):>10}  (renders from memory)")
+    print(
+        f"  storage round-trip avoided: {fmt_time(io_s)} "
+        f"({report['speedup']:.2f}x end-to-end)"
+    )
     return 0
 
 
@@ -509,6 +743,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--update")
     if args.only:
         argv.extend(["--only", *args.only])
+    if args.list:
+        argv.append("--list")
     if args.profile:
         argv.extend(["--profile", "--profile-lines", str(args.profile_lines)])
     return module.main(argv)
@@ -522,12 +758,17 @@ def cmd_farm(args: argparse.Namespace) -> int:
         FarmScenario,
         default_scenario,
         run_edge_selftest,
+        run_interactive_selftest,
         run_selftest,
     )
 
-    if args.selftest or args.edge_selftest:
-        runner = run_edge_selftest if args.edge_selftest else run_selftest
-        label = "edge selftest" if args.edge_selftest else "selftest"
+    if args.selftest or args.edge_selftest or args.interactive_selftest:
+        if args.interactive_selftest:
+            runner, label = run_interactive_selftest, "interactive selftest"
+        elif args.edge_selftest:
+            runner, label = run_edge_selftest, "edge selftest"
+        else:
+            runner, label = run_selftest, "selftest"
         result, failures = runner()
         for failure in failures:
             print(f"{label} FAILED: {failure}", file=sys.stderr)
@@ -625,7 +866,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "render": cmd_render,
         "trace": cmd_trace,
         "timeseries": cmd_timeseries,
+        "progressive": cmd_progressive,
         "model": cmd_model,
+        "insitu": cmd_insitu,
         "scorecard": cmd_scorecard,
         "inventory": cmd_inventory,
         "bench": cmd_bench,

@@ -24,7 +24,12 @@ or from the shell: ``python -m repro farm [--scenario spec.json]``.
 from repro.farm.admission import TierSpec, TokenBucketAdmission, admission_from_dict
 from repro.farm.allocator import NodeAllocator, SizePolicy, standard_size_for
 from repro.farm.autoscale import ReactiveAutoscaler, StaticPool, autoscale_from_dict
-from repro.farm.backends import ExecuteBackend, ModelBackend, backend_for
+from repro.farm.backends import (
+    ExecuteBackend,
+    ModelBackend,
+    ProgressivePayload,
+    backend_for,
+)
 from repro.farm.cache import FrameResultCache
 from repro.farm.edge import EdgeCache, EdgeConfig
 from repro.farm.request import FrameRequest, RequestRecord
@@ -34,7 +39,9 @@ from repro.farm.scenario import (
     default_scenario,
     edge_selftest_scenario,
     flash_scenario,
+    interactive_selftest_scenario,
     run_edge_selftest,
+    run_interactive_selftest,
     run_selftest,
     selftest_scenario,
 )
@@ -69,8 +76,11 @@ __all__ = [
     "flash_scenario",
     "selftest_scenario",
     "edge_selftest_scenario",
+    "interactive_selftest_scenario",
     "run_selftest",
     "run_edge_selftest",
+    "run_interactive_selftest",
+    "ProgressivePayload",
     "RenderFarm",
     "SessionSpec",
     "Workload",

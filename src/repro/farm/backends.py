@@ -59,6 +59,36 @@ class CampaignPayload:
         return self.sequential_s - self.makespan_s
 
 
+@dataclass
+class ProgressivePayload:
+    """What a progressive ladder job delivers: every level + its clock.
+
+    ``level_end_s`` is cumulative simulated seconds from serve start to
+    each level's delivery, coarse to fine — the farm dispatcher turns
+    these into per-level publish events, and a camera move truncates
+    the ladder at the first boundary after it.  ``sequential_full_s``
+    is what a direct full-resolution render of the same frame would
+    have taken, so ``ttfp_s`` vs it is the headline speedup.  ``detail``
+    carries mode-specific goods (the execute mode's
+    :class:`~repro.progressive.renderer.ProgressiveResult`).
+    """
+
+    levels: int
+    edges: tuple[int, ...]  # per-level image edge, coarse to fine
+    level_end_s: tuple[float, ...]  # cumulative delivery times
+    sequential_full_s: float  # direct full-res render of the same frame
+    detail: Any = field(default=None, repr=False)
+
+    @property
+    def ttfp_s(self) -> float:
+        """Serve-relative time to first pixel (the coarsest level)."""
+        return self.level_end_s[0]
+
+    @property
+    def total_s(self) -> float:
+        return self.level_end_s[-1]
+
+
 class ServiceBackend(Protocol):  # pragma: no cover - typing aid
     """What the dispatcher needs: a deterministic (seconds, payload)."""
 
@@ -87,8 +117,29 @@ class ModelBackend:
         self.plan_hits = 0
         self.plan_misses = 0
 
-    def render(self, request: FrameRequest, cores: int) -> tuple[float, Any]:
+    def _estimate(self, dataset: str, cores: int, io_mode: str, count: bool = True):
+        """The memoized priced estimate; ``count=False`` skips the
+        plan-tier hit/miss books (internal probes, e.g. the RAW
+        estimate a progressive ladder prices coarse levels from)."""
         from repro.model.pipeline import DATASETS, FrameModel
+
+        key = (dataset, int(cores), io_mode)
+        est = self._estimates.get(key)
+        if est is not None:
+            if count:
+                self.plan_hits += 1
+            return est
+        if count:
+            self.plan_misses += 1
+        model = self._models.get(dataset)
+        if model is None:
+            model = self._models[dataset] = FrameModel(DATASETS[dataset], self._constants)
+        est = model.estimate(cores, io_mode=io_mode)
+        self._estimates[key] = est
+        return est
+
+    def render(self, request: FrameRequest, cores: int) -> tuple[float, Any]:
+        from repro.model.pipeline import DATASETS
         from repro.utils.errors import ConfigError
 
         if request.dataset not in DATASETS:
@@ -96,19 +147,45 @@ class ModelBackend:
                 f"model backend knows datasets {sorted(DATASETS)}, "
                 f"got {request.dataset!r}"
             )
-        key = (request.dataset, int(cores), request.io_mode)
-        est = self._estimates.get(key)
-        if est is not None:
-            self.plan_hits += 1
-        else:
-            self.plan_misses += 1
-            model = self._models.get(request.dataset)
-            if model is None:
-                model = self._models[request.dataset] = FrameModel(
-                    DATASETS[request.dataset], self._constants
-                )
-            est = model.estimate(cores, io_mode=request.io_mode)
-            self._estimates[key] = est
+        est = self._estimate(request.dataset, cores, request.io_mode)
+        if request.is_progressive:
+            # Progressive ladder: coarse levels render stride-f pyramid
+            # copies, so their I/O and render shrink with f³ (voxels)
+            # and compositing with f² (pixels).  The coarse pyramid is
+            # raw-layout preprocessing regardless of the full frame's
+            # io_mode — a netCDF record layout's density penalty applies
+            # to the full-resolution read, not to the derived copies.
+            from repro.model.pipeline import DATASETS as _DS
+            from repro.progressive.ladder import ladder_scales, level_edge
+
+            raw = (
+                est
+                if request.io_mode == "raw"
+                else self._estimate(request.dataset, cores, "raw", count=False)
+            )
+            full_edge = _DS[request.dataset].image
+            t = 0.0
+            ends: list[float] = []
+            edges: list[int] = []
+            for f in ladder_scales(request.levels):
+                if f == 1:
+                    t += est.total_s
+                else:
+                    t += (
+                        raw.io.seconds / f**3
+                        + est.render.seconds / f**3
+                        + est.composite.seconds / f**2
+                    )
+                ends.append(t)
+                edges.append(level_edge(full_edge, f))
+            payload = ProgressivePayload(
+                levels=request.levels,
+                edges=tuple(edges),
+                level_end_s=tuple(ends),
+                sequential_full_s=est.total_s,
+                detail=est,
+            )
+            return payload.total_s, payload
         if request.frames > 1:
             # Campaign job: the analytic stage costs are camera-orbit
             # invariant, so every frame shares one estimate; the
@@ -187,6 +264,7 @@ class ExecuteBackend:
             self._handles[key] = (
                 RawHandle(extract_variable_raw(model, request.variable)),
                 model.value_range(request.variable),
+                model.field(request.variable),
             )
         return self._handles[key]
 
@@ -221,7 +299,7 @@ class ExecuteBackend:
         memo = self._frames.get(key)
         if memo is not None:
             return memo
-        handle, value_range = self._handle(request)
+        handle, value_range, volume = self._handle(request)
         camera = Camera.looking_at_volume(
             self.grid,
             width=self.image,
@@ -230,6 +308,26 @@ class ExecuteBackend:
             elevation_deg=request.elevation_deg,
         )
         renderer = self._get_renderer(camera, self._transfer(request, value_range))
+        if request.is_progressive:
+            # Progressive ladder: every level is a real frame through
+            # the shared renderer (one FramePlanCache across the whole
+            # service), final level bitwise identical to a direct
+            # full-resolution render of this frame_key sans ladder.
+            from repro.progressive import ProgressiveRenderer
+
+            ladder = ProgressiveRenderer(renderer, levels=request.levels).render_ladder(
+                handle, field=volume
+            )
+            payload = ProgressivePayload(
+                levels=request.levels,
+                edges=tuple(lf.width for lf in ladder.levels),
+                level_end_s=tuple(lf.t_done_s for lf in ladder.levels),
+                sequential_full_s=ladder.final.timing.total_s,
+                detail=ladder,
+            )
+            memo = (payload.total_s, payload)
+            self._frames[key] = memo
+            return memo
         if request.frames > 1:
             # Campaign job: the whole orbit animation renders through
             # the pipelined driver on the *shared* renderer, so the

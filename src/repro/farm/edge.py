@@ -104,6 +104,21 @@ class EdgeCache:
         self._region_hits[region] = self._region_hits.get(region, 0) + 1
         return entry[1]
 
+    def peek(self, region: str, key: tuple, now: float) -> Any | None:
+        """Uncounted, recency-neutral probe (TTL still honoured).
+
+        Coarse ladder-level probes use this: a preview served while the
+        fine levels render must not perturb the edge tier's hit/miss
+        books, which reconcile 1:1 with ``edge_hit`` request records.
+        """
+        store = self._regions.get(region)
+        entry = None if store is None else store.get(key)
+        if entry is None:
+            return None
+        if self.ttl_s is not None and now - entry[0] > self.ttl_s:
+            return None
+        return entry[1]
+
     def fill(self, region: str, key: tuple, payload: Any, now: float) -> None:
         """Install a delivered frame in ``region`` (evicting LRU)."""
         store = self._regions.setdefault(region, {})

@@ -45,10 +45,16 @@ class FrameRequest:
     frames: int = 1  # >1: a pipelined campaign (orbit animation) job
     orbit_deg: float = 0.0  # campaign azimuth advance per frame
     prefetch_depth: int = 1  # campaign I/O prefetch depth
+    levels: int = 1  # >1: a progressive ladder (coarse-first refinement)
+    cancel_after_s: float | None = None  # viewer's camera move, relative to serve start
 
     @property
     def is_campaign(self) -> bool:
         return self.frames > 1
+
+    @property
+    def is_progressive(self) -> bool:
+        return self.levels > 1
 
     @property
     def rid(self) -> str:
@@ -76,7 +82,23 @@ class FrameRequest:
         )
         if self.frames > 1:
             key += ("campaign", int(self.frames), round(float(self.orbit_deg), 6))
+        if self.levels > 1:
+            # A ladder's full payload carries every level, so only an
+            # equal-depth ladder may share it.  ``cancel_after_s`` is
+            # deliberately excluded: the viewer's patience changes how
+            # far the ladder got, never what any delivered level shows
+            # — and truncated ladders are never stored under this key.
+            key += ("progressive", int(self.levels))
         return key
+
+    def level_key(self, level: int) -> tuple:
+        """Cache identity of one delivered ladder level.
+
+        Coarse levels are cached under their own keys the moment they
+        land, so a repeat visit to the same view coarse-hits instantly
+        while (or before) the fine levels render.
+        """
+        return self.frame_key + ("level", int(level))
 
 
 @dataclass
@@ -115,6 +137,13 @@ class RequestRecord:
     t_first_fail: float | None = field(default=None, repr=False)
     # ^ when the first crash killed this job; t_done - t_first_fail is
     #   the request's contribution to farm MTTR.
+    t_first_pixel: float | None = None
+    # ^ progressive only: when the first (coarsest) level — or a coarse
+    #   cache hit standing in for it — reached the viewer.
+    levels_total: int = 0  # ladder depth planned for this request
+    levels_done: int = 0  # levels actually delivered
+    ladder_cancelled: bool = False  # a camera move truncated the ladder
+    coarse_hit: bool = False  # a cached coarse level served the first pixel
 
     @property
     def queue_s(self) -> float:
@@ -133,5 +162,21 @@ class RequestRecord:
         """End-to-end: arrival to delivered frame."""
         return self.t_done - self.t_arrive
 
+    @property
+    def ttfp_s(self) -> float:
+        """Time to first pixel: arrival to the first delivered level.
+
+        Falls back to full latency when no level timestamp was recorded
+        (non-progressive requests, or rejected ladders).
+        """
+        if self.t_first_pixel is None:
+            return self.latency_s
+        return self.t_first_pixel - self.t_arrive
+
     def meets(self, slo_s: float) -> bool:
+        """Progressive requests meet their SLO on time-to-first-pixel —
+        the interactive contract is "show me *something* fast" — all
+        others on end-to-end latency."""
+        if self.request.is_progressive:
+            return self.ttfp_s <= slo_s
         return self.latency_s <= slo_s

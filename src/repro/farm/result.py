@@ -63,6 +63,9 @@ class FarmResult:
     rejected: list[RequestRecord] = field(default_factory=list)  # shed, never served
     result_cache_enabled: bool = True
     provisioned_node_s: float | None = None  # ∫ provisioned-pool size dt
+    cancelled_node_s: float = 0.0  # node-seconds reclaimed by camera moves
+    levels_published: int = 0  # ladder levels delivered service-wide
+    ladders_cancelled: int = 0  # ladders truncated by camera moves
     edge: dict | None = None  # EdgeCache.summary() when the edge tier ran
     admission: dict | None = None  # TokenBucketAdmission.summary()
     autoscale: dict | None = None  # policy name, scale events, pool extremes
@@ -217,6 +220,52 @@ class FarmResult:
             "overlap_saved_s": saved,
         }
 
+    # -- progressive ladders ------------------------------------------
+
+    def progressive_records(self) -> list[RequestRecord]:
+        """Served progressive-ladder jobs (one record = one ladder)."""
+        return [r for r in self.records if r.request.is_progressive]
+
+    def progressive_stats(self) -> dict | None:
+        """TTFP and cancellation accounting for the interactive tier.
+
+        ``None`` when the workload had no interactive sessions.  The
+        headline is ``ttfp_speedup``: how much sooner the first pixel
+        lands than a direct full-resolution render of the same frame
+        would have delivered *anything* (both from the same payload's
+        clock, so the ratio is scale-honest).  Cache/edge-served
+        ladders have no render clock and are excluded from it.
+        """
+        recs = self.progressive_records()
+        if not recs:
+            return None
+        rendered = [
+            r for r in recs
+            if not (r.cache_hit or r.edge_hit or r.coalesced) and r.payload is not None
+        ]
+        ttfps = np.array([r.ttfp_s for r in recs], dtype=np.float64)
+        payload_ttfp = [float(r.payload.ttfp_s) for r in rendered]
+        payload_full = [float(r.payload.sequential_full_s) for r in rendered]
+        speedup = (
+            float(np.mean(payload_full) / np.mean(payload_ttfp)) if rendered else 0.0
+        )
+        return {
+            "ladders": len(recs),
+            "rendered": len(rendered),
+            "coarse_hits": sum(r.coarse_hit for r in recs),
+            "cancelled": sum(r.ladder_cancelled for r in recs),
+            "levels_published": self.levels_published,
+            "cancelled_node_s": self.cancelled_node_s,
+            "ttfp_s": {
+                "mean": float(np.mean(ttfps)),
+                "p95": float(np.percentile(ttfps, 95)),
+            },
+            "full_latency_s": {
+                "mean": float(np.mean([r.latency_s for r in recs])),
+            },
+            "ttfp_speedup": speedup,
+        }
+
     # -- views --------------------------------------------------------
 
     def session_records(self, session: str) -> list[RequestRecord]:
@@ -249,6 +298,9 @@ class FarmResult:
         campaigns = self.campaign_stats()
         if campaigns is not None:
             extra["campaigns"] = campaigns
+        progressive = self.progressive_stats()
+        if progressive is not None:
+            extra["progressive"] = progressive
         if self.edge is not None:
             extra["edge"] = self.edge
         if self.admission is not None:
@@ -385,6 +437,75 @@ class FarmResult:
                     f"{p.sequential_s:.6f}s"
                 )
 
+        eps = 1e-6
+        for r in self.progressive_records():
+            p = r.payload
+            rid = r.request.rid
+            if r.t_first_pixel is not None and not (
+                r.t_arrive - eps <= r.t_first_pixel <= r.t_done + eps
+            ):
+                fails.append(
+                    f"ladder {rid} first pixel at {r.t_first_pixel:.6f} outside "
+                    f"[{r.t_arrive:.6f}, {r.t_done:.6f}]"
+                )
+            if p is None or r.cache_hit or r.edge_hit or r.coalesced:
+                continue  # served without a render; no ladder clock to check
+            if not hasattr(p, "level_end_s"):
+                fails.append(
+                    f"ladder {rid} delivered a non-progressive payload "
+                    f"{type(p).__name__}"
+                )
+                continue
+            if int(p.levels) != int(r.request.levels):
+                fails.append(
+                    f"ladder {rid} asked for {r.request.levels} levels, "
+                    f"payload carries {p.levels}"
+                )
+            if any(b <= a for a, b in zip(p.level_end_s, p.level_end_s[1:])):
+                fails.append(f"ladder {rid} level clock is not strictly increasing")
+            if p.ttfp_s > p.total_s + eps:
+                fails.append(
+                    f"ladder {rid} TTFP {p.ttfp_s:.6f}s exceeds its total "
+                    f"{p.total_s:.6f}s"
+                )
+            if self.faults is None:
+                if r.ladder_cancelled and r.levels_done >= r.levels_total:
+                    fails.append(
+                        f"cancelled ladder {rid} delivered all {r.levels_total} levels"
+                    )
+                if not r.ladder_cancelled and r.levels_done != r.levels_total:
+                    fails.append(
+                        f"ladder {rid} delivered {r.levels_done} of "
+                        f"{r.levels_total} levels without a camera move"
+                    )
+        if self.faults is None:
+            prog_rendered = [
+                r for r in self.progressive_records()
+                if not (r.cache_hit or r.edge_hit or r.coalesced) and r.payload is not None
+            ]
+            want_levels = sum(r.levels_done for r in prog_rendered)
+            if self.levels_published != want_levels:
+                fails.append(
+                    f"levels_published {self.levels_published} != levels delivered "
+                    f"by rendered ladders {want_levels}"
+                )
+            want_cancels = sum(r.ladder_cancelled for r in prog_rendered)
+            if self.ladders_cancelled != want_cancels:
+                fails.append(
+                    f"ladders_cancelled {self.ladders_cancelled} != cancelled "
+                    f"records {want_cancels}"
+                )
+            want_reclaimed = sum(
+                r.nodes * (float(r.payload.total_s) - r.serve_s)
+                for r in prog_rendered
+                if r.ladder_cancelled
+            )
+            if abs(self.cancelled_node_s - want_reclaimed) > 1e-6:
+                fails.append(
+                    f"cancelled_node_s {self.cancelled_node_s:.6f} != "
+                    f"sum of truncated remainders {want_reclaimed:.6f}"
+                )
+
         if self.trace is not None and self.trace.enabled:
             names: dict[str, int] = {}
             for span in self.trace.spans:
@@ -398,6 +519,12 @@ class FarmResult:
                 ("edge-hit", self.edge_hits),
                 ("coalesced", self.coalesced),
                 ("reject", len(self.rejected)),
+                # Ladder spans are emitted by the same code paths that
+                # bump the counters, so these reconcile even under
+                # faults (killed ladders' published spans stay, and so
+                # does their count).
+                ("level", self.levels_published),
+                ("ladder-cancelled", self.ladders_cancelled),
             ]
             for name, want in checks:
                 got = names.get(name, 0)
@@ -433,6 +560,17 @@ class FarmResult:
                 f"{campaigns['frames']} frames, "
                 f"{campaigns['frames_per_s']['mean']:.3f} frames/s mean, "
                 f"overlap saved {fmt_time(campaigns['overlap_saved_s'])}"
+            )
+        progressive = self.progressive_stats()
+        if progressive is not None:
+            lines.append(
+                f"  progressive  {progressive['ladders']} ladders "
+                f"({progressive['levels_published']} levels), TTFP mean "
+                f"{fmt_time(progressive['ttfp_s']['mean'])} "
+                f"({progressive['ttfp_speedup']:.1f}x vs full-res), "
+                f"{progressive['cancelled']} cancelled reclaiming "
+                f"{progressive['cancelled_node_s']:.0f} node-s, "
+                f"{progressive['coarse_hits']} coarse hits"
             )
         if self.edge is not None:
             lines.append(

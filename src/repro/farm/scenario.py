@@ -394,6 +394,87 @@ def run_selftest() -> tuple[FarmResult, list[str]]:
     return result, failures
 
 
+def interactive_selftest_scenario(seed: int = 13) -> FarmScenario:
+    """A seconds-fast functional miniature of the progressive tier.
+
+    Execute mode on a 64-node slice, two interactive viewers: a
+    *fidgety* one whose exponential dwell usually moves the camera
+    mid-ladder (cancelling the fine levels and revisiting earlier
+    views, so truncated ladders' coarse levels get coarse-hit), and a
+    *patient* one whose ladders run to completion (so a revisit is a
+    full result-cache hit).  The functional ladder clock makes coarse
+    levels artificially expensive (tiny reads pay the per-access
+    latency floor), so this scenario pins *semantics* — cancellation,
+    reclaimed node-seconds, level caching — never TTFP magnitudes;
+    those are the model-mode bench's job.
+    """
+    sessions = (
+        # 90-degree orbit: seq 0/4/8 revisit azimuth 30, seq 1/5 120, ...
+        SessionSpec(
+            name="fidget0", kind="interactive", arrival="closed", requests=9,
+            think_s=0.2, cores=64, orbit_deg=90.0, dataset="mini",
+            levels=3, dwell_s=60.0,
+        ),
+        # 120-degree orbit: seq 3 revisits seq 0's completed ladder.
+        SessionSpec(
+            name="patient0", kind="interactive", arrival="closed", requests=4,
+            think_s=0.2, cores=64, orbit_deg=120.0, dataset="mini",
+            levels=3, dwell_s=0.0, azimuth_deg=10.0, start_s=1.0,
+        ),
+    )
+    return FarmScenario(
+        sessions=sessions,
+        seed=seed,
+        mode="execute",
+        total_nodes=64,
+        slo_s=3600.0,
+        alloc_overhead_s=0.1,
+        result_cache_entries=64,
+        size_policy=SizePolicy(min_nodes=16, max_nodes=16),
+    )
+
+
+def run_interactive_selftest() -> tuple[FarmResult, list[str]]:
+    """Run the progressive miniature and check the ladder invariants.
+
+    Returns the result plus failure descriptions (empty on success) —
+    the CLI's ``--interactive-selftest`` turns them into exit status
+    for CI.
+    """
+    scenario = interactive_selftest_scenario()
+    result = scenario.run()
+    failures: list[str] = []
+    total = scenario.workload().total_requests
+    if result.arrivals != total:
+        failures.append(f"expected {total} arrivals accounted, got {result.arrivals}")
+    stats = result.progressive_stats()
+    if stats is None:
+        failures.append("interactive workload produced no progressive records")
+        return result, failures
+    if stats["cancelled"] == 0:
+        failures.append("fidgety viewer dwells inside the ladder; expected cancellations")
+    if result.cancelled_node_s <= 0:
+        failures.append("cancelled ladders reclaimed no node-seconds")
+    if stats["coarse_hits"] == 0:
+        failures.append(
+            "revisits of truncated ladders should coarse-hit their cached levels"
+        )
+    if not any(r.cache_hit for r in result.progressive_records()):
+        failures.append("patient viewer revisits a completed ladder; expected a cache hit")
+    if stats["levels_published"] == 0:
+        failures.append("no ladder levels were published")
+    rendered = [
+        r for r in result.progressive_records()
+        if not (r.cache_hit or r.edge_hit) and r.payload is not None
+    ]
+    if any(r.t_first_pixel is None for r in rendered):
+        failures.append("a rendered ladder recorded no first-pixel time")
+    if any(r.ttfp_s > r.latency_s + 1e-9 for r in result.records):
+        failures.append("time to first pixel exceeded end-to-end latency")
+    failures.extend(result.accounting_failures())
+    return result, failures
+
+
 def edge_selftest_scenario(seed: int = 11) -> FarmScenario:
     """A seconds-fast functional miniature of the whole service tier.
 

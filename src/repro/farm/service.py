@@ -79,7 +79,14 @@ from repro.farm.workload import SessionSpec, Workload
 from repro.fault.metrics import FarmFaultStats
 from repro.fault.plan import FarmFaults
 from repro.machine.specs import BGP_ALCF
-from repro.obs.tracer import CAT_ADMIT, CAT_EDGE, CAT_FARM, CAT_FAULT, Tracer
+from repro.obs.tracer import (
+    CAT_ADMIT,
+    CAT_EDGE,
+    CAT_FARM,
+    CAT_FAULT,
+    CAT_PROGRESSIVE,
+    Tracer,
+)
 from repro.sim.engine import Engine
 from repro.sim.events import Future
 from repro.utils.errors import ConfigError
@@ -109,6 +116,12 @@ class _Job:
     t_end: float = 0.0
     backfilled: bool = field(default=False)
     finish_ev: Any = field(default=None, repr=False)  # cancellable on node crash
+    # Progressive ladders: per-level publish events (cancellable on a
+    # camera move or node crash), the pending move event, and whether a
+    # move already truncated this ladder.
+    level_evs: list = field(default_factory=list, repr=False)
+    move_ev: Any = field(default=None, repr=False)
+    truncated: bool = False
 
     @property
     def request(self) -> FrameRequest:
@@ -171,6 +184,11 @@ class RenderFarm:
         self._util_node_s = 0.0
         self._busy_nodes = 0
         self._ran = False
+
+        # -- progressive-ladder books ---------------------------------
+        self._cancelled_node_s = 0.0  # node-seconds reclaimed by camera moves
+        self._levels_published = 0
+        self._ladders_cancelled = 0
 
         # -- autoscale state (full machine when no policy installed) --
         self._provisioned = total_nodes
@@ -239,6 +257,9 @@ class RenderFarm:
             rejected=list(self.rejected),
             result_cache_enabled=self.result_cache.enabled,
             provisioned_node_s=self._provisioned_node_s,
+            cancelled_node_s=self._cancelled_node_s,
+            levels_published=self._levels_published,
+            ladders_cancelled=self._ladders_cancelled,
             edge=self.edge.summary() if self.edge is not None else None,
             admission=self.admission.summary() if self.admission is not None else None,
             autoscale=self._autoscale_summary(),
@@ -260,21 +281,29 @@ class RenderFarm:
 
     def _open_session(self, spec: SessionSpec):
         gaps = spec.interarrivals(self.workload.seed)
+        dwells = spec.dwell_times(self.workload.seed)
         if spec.start_s > 0:
             yield float(spec.start_s)
         for i in range(spec.submissions):
             yield float(gaps[i])
-            self._submit(spec.request(i))
+            self._submit(spec.request(i, cancel_after_s=self._dwell(dwells, i)))
 
     def _closed_session(self, spec: SessionSpec):
         thinks = spec.think_times(self.workload.seed)
+        dwells = spec.dwell_times(self.workload.seed)
         if spec.start_s > 0:
             yield float(spec.start_s)
         for i in range(spec.submissions):
-            done = self._submit(spec.request(i))
+            done = self._submit(spec.request(i, cancel_after_s=self._dwell(dwells, i)))
             yield done
             if thinks[i] > 0:
                 yield float(thinks[i])
+
+    @staticmethod
+    def _dwell(dwells, i: int) -> float | None:
+        """The i-th camera-move dwell, or None for a patient viewer."""
+        d = float(dwells[i])
+        return d if d > 0 else None
 
     # -- the service tier: edge -> origin -> coalesce -> admit --------
 
@@ -297,7 +326,31 @@ class RenderFarm:
             self._complete_from_cache(record, done, payload)
             return done
 
-        if self.coalesce:
+        if request.is_progressive:
+            # No full ladder cached — but a *coarse level* of this view
+            # may be (published while an earlier ladder rendered, or
+            # left behind by a truncated one).  Serve the finest cached
+            # preview as the first pixel immediately; the ladder still
+            # renders below.  Probes are uncounted (edge.peek /
+            # cache.touch): the hit/miss books reconcile 1:1 with
+            # served-from-cache records, and this request is not one.
+            for lvl in range(request.levels - 2, -1, -1):
+                lk = request.level_key(lvl)
+                preview = None
+                if self.edge is not None:
+                    preview = self.edge.peek(request.region, lk, now)
+                if preview is None:
+                    preview = self.result_cache.touch(lk)
+                if preview is not None:
+                    record.coarse_hit = True
+                    record.t_first_pixel = now
+                    break
+
+        if self.coalesce and not request.is_progressive:
+            # Progressive ladders are excluded from single-flight: a
+            # primary whose viewer moves the camera truncates its
+            # ladder, and handing waiters a partial ladder would break
+            # the coalescing contract (same key => same full payload).
             primary = self._inflight.get(key)
             if primary is not None:
                 self.records.append(record)
@@ -321,7 +374,7 @@ class RenderFarm:
 
         self.records.append(record)
         job = _Job(record=record, nodes=nodes, done=done)
-        if self.coalesce:
+        if self.coalesce and not request.is_progressive:
             self._inflight[key] = job
         self._queue.append(job)
         self._kick()
@@ -522,6 +575,118 @@ class RenderFarm:
         self._util_node_s += job.nodes * (record.t_done - now)
         self.allocation_log.append((job.request.rid, interval, now, record.t_done))
         job.finish_ev = self.engine.schedule_at(record.t_done, lambda j=job: self._finish(j))
+        if job.request.is_progressive and hasattr(job.payload, "level_end_s"):
+            self._schedule_ladder(job)
+
+    # -- progressive ladders ------------------------------------------
+
+    def _schedule_ladder(self, job: _Job) -> None:
+        """Turn the payload's level clock into publish/move events.
+
+        Levels 0..L-2 get their own publish events (the final level is
+        the job's normal finish); the viewer's camera move, if any,
+        lands ``cancel_after_s`` after serve start.
+        """
+        payload = job.payload
+        record = job.record
+        record.levels_total = payload.levels
+        tfp = record.t_serve + payload.ttfp_s
+        # A coarse cache hit at arrival may already have shown a pixel;
+        # first pixel is whichever came first.
+        record.t_first_pixel = (
+            tfp if record.t_first_pixel is None else min(record.t_first_pixel, tfp)
+        )
+        job.level_evs = [
+            self.engine.schedule_at(
+                record.t_serve + payload.level_end_s[lvl],
+                lambda j=job, l=lvl: self._publish_level(j, l),
+            )
+            for lvl in range(payload.levels - 1)
+        ]
+        cancel = job.request.cancel_after_s
+        if cancel is not None:
+            t_move = record.t_serve + float(cancel)
+            if t_move < record.t_done - 1e-12:
+                job.move_ev = self.engine.schedule_at(
+                    t_move, lambda j=job: self._camera_move(j)
+                )
+
+    def _publish_level(self, job: _Job, lvl: int) -> None:
+        """A coarse level landed: show it and cache it under its own key.
+
+        The store/fill are deliberately uncounted (``store``/``fill``
+        never touch the hit/miss books) — publishing is a side effect
+        of this render, not a cache transaction of any request.
+        """
+        now = self.engine.now
+        record = job.record
+        payload = job.payload
+        job.level_evs[lvl] = None
+        record.levels_done += 1
+        self._levels_published += 1
+        prev_end = 0.0 if lvl == 0 else payload.level_end_s[lvl - 1]
+        rank = self.workload.session_index(record.request.session)
+        self.tracer.span(
+            rank, "level", CAT_PROGRESSIVE, record.t_serve + prev_end, now,
+            req=record.request.rid, level=lvl, edge=payload.edges[lvl],
+        )
+        preview = {
+            "level": lvl,
+            "of": payload.levels,
+            "edge": payload.edges[lvl],
+            "payload": payload,
+        }
+        lk = record.request.level_key(lvl)
+        self.result_cache.store(lk, preview)
+        if self.edge is not None:
+            self.edge.fill(record.request.region, lk, preview, now)
+
+    def _camera_move(self, job: _Job) -> None:
+        """The viewer moved: truncate the ladder, reclaim the remainder.
+
+        The level in flight completes (preempting mid-composite would
+        tear a frame); every un-started level is cancelled and its
+        node-seconds handed back to the machine.  A move landing inside
+        the final level reclaims nothing.
+        """
+        now = self.engine.now
+        record = job.record
+        payload = job.payload
+        job.move_ev = None
+        rel = now - record.t_serve
+        ends = payload.level_end_s
+        idx = next((i for i, e in enumerate(ends) if e > rel + 1e-12), len(ends) - 1)
+        new_end = record.t_serve + ends[idx]
+        if new_end >= record.t_done - 1e-12:
+            return  # mid-final-level: the ladder finishes anyway
+        for lvl in range(idx + 1, payload.levels - 1):
+            ev = job.level_evs[lvl]
+            if ev is not None:
+                ev.cancel()
+                job.level_evs[lvl] = None
+        job.finish_ev.cancel()
+        reclaimed = job.nodes * (record.t_done - new_end)
+        self._util_node_s -= reclaimed
+        self._cancelled_node_s += reclaimed
+        self._ladders_cancelled += 1
+        record.ladder_cancelled = True
+        record.t_done = new_end
+        job.t_end = new_end
+        job.truncated = True
+        # Truncate this boot's allocation-log entry so the no-overlap
+        # invariant holds when the reclaimed nodes are reused early.
+        rid = record.request.rid
+        for i in range(len(self.allocation_log) - 1, -1, -1):
+            rid_i, interval_i, t0_i, _ = self.allocation_log[i]
+            if rid_i == rid:
+                self.allocation_log[i] = (rid_i, interval_i, t0_i, new_end)
+                break
+        job.finish_ev = self.engine.schedule_at(new_end, lambda j=job: self._finish(j))
+        rank = self.workload.session_index(record.request.session)
+        self.tracer.span(
+            rank, "ladder-cancelled", CAT_PROGRESSIVE, now, now,
+            req=rid, completes=idx + 1, of=payload.levels,
+        )
 
     def _finish(self, job: _Job) -> None:
         record = job.record
@@ -540,10 +705,26 @@ class RenderFarm:
             req=rid, nodes=job.nodes, backfilled=job.backfilled,
         )
         record.payload = job.payload
-        self.result_cache.store(record.request.frame_key, job.payload)
+        if job.request.is_progressive and not job.truncated:
+            # The final (full-res) level is delivered by the job's own
+            # finish; give it the same per-level span the coarse ones
+            # got so span counts reconcile with levels delivered.
+            p = job.payload
+            self.tracer.span(
+                rank, "level", CAT_PROGRESSIVE,
+                record.t_serve + p.level_end_s[-2], record.t_done,
+                req=rid, level=p.levels - 1, edge=p.edges[-1],
+            )
+            record.levels_done += 1
+            self._levels_published += 1
+        if not job.truncated:
+            # A truncated ladder is a *partial* payload: never cache it
+            # under the full frame_key (its published coarse levels
+            # stay under their own level keys).
+            self.result_cache.store(record.request.frame_key, job.payload)
         if self._inflight.get(record.request.frame_key) is job:
             del self._inflight[record.request.frame_key]
-        if self.edge is not None:
+        if self.edge is not None and not job.truncated:
             self.edge.fill(
                 record.request.region, record.request.frame_key, job.payload, self.engine.now
             )
@@ -676,6 +857,20 @@ class RenderFarm:
         rid = job.request.rid
         job.finish_ev.cancel()
         job.finish_ev = None
+        # A ladder dies with its partition: cancel its pending level
+        # and move events and reset the per-request ladder books (the
+        # requeue re-renders the whole ladder; global counters keep
+        # history, which is why their identities are fault-free only).
+        for ev in job.level_evs:
+            if ev is not None:
+                ev.cancel()
+        job.level_evs = []
+        if job.move_ev is not None:
+            job.move_ev.cancel()
+            job.move_ev = None
+        job.truncated = False
+        record.levels_done = 0
+        record.ladder_cancelled = False
         self._running.pop(rid)
         self._busy_nodes -= job.nodes
         self.allocator.free(record.interval)  # type: ignore[arg-type]

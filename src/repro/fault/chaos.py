@@ -22,7 +22,12 @@ import dataclasses
 from typing import Any
 
 from repro.farm.result import FarmResult
-from repro.farm.scenario import FarmScenario, default_scenario, selftest_scenario
+from repro.farm.scenario import (
+    FarmScenario,
+    default_scenario,
+    interactive_selftest_scenario,
+    selftest_scenario,
+)
 from repro.fault.plan import FarmFaults
 from repro.utils.errors import ConfigError
 from repro.utils.validation import check_spec_keys
@@ -40,11 +45,13 @@ def _resolve_scenario(base: Any) -> tuple[str, FarmScenario]:
         return "selftest", selftest_scenario()
     if base == "default":
         return "default", default_scenario()
+    if base == "interactive":
+        return "interactive", interactive_selftest_scenario()
     if isinstance(base, dict):
         return "custom", FarmScenario.from_dict(base)
     raise ConfigError(
-        f"chaos.scenario must be 'selftest', 'default', or a scenario "
-        f"object, got {base!r}"
+        f"chaos.scenario must be 'selftest', 'default', 'interactive', "
+        f"or a scenario object, got {base!r}"
     )
 
 

@@ -39,6 +39,7 @@ CAT_EDGE = "edge"  # edge-tier activity (regional hits, coalesced joins, invalid
 CAT_ADMIT = "admit"  # admission-control decisions (load-shed rejections)
 CAT_FAULT = "fault"  # injected failures + recovery actions (crash/retry/failover)
 CAT_PREFETCH = "prefetch"  # campaign-level pipelined I/O + compute lanes
+CAT_PROGRESSIVE = "progressive"  # resolution-ladder levels (coarse-first refinement)
 
 #: The frame stages, in pipeline order (Sec. III-B).
 STAGES = ("io", "render", "composite")

@@ -1,0 +1,323 @@
+"""`ProgressiveRenderer`: one request becomes a resolution ladder.
+
+Each ladder level is a *genuine* frame through the existing pipeline —
+the level's pyramid copy is collectively read, block-rendered, and
+composited through whatever :class:`CompositingBackend` the wrapped
+renderer carries — on the wrapped renderer's one
+:class:`~repro.core.plan.FramePlanCache` and partition.  The final
+level renders the original handle through the original camera object,
+so it is bitwise identical (image, message count, bytes on the wire,
+stage timings) to a direct full-resolution render; the oracle tests
+pin exactly that.
+
+Deadline pressure is absorbed by the *ladder*, not by individual
+levels: when the wrapped renderer carries a
+:class:`~repro.core.pipeline.DegradePolicy` and the projected
+full-resolution I/O alone would engage it, the intermediate levels are
+dropped (``truncated``) — the viewer gets the coarsest preview
+immediately and then the exact final frame, instead of a permanently
+degraded image.  The per-frame degrade fallback is held off inside a
+ladder for the same reason: a scaled-camera final level would break
+the bitwise contract that makes the ladder trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import FrameResult, ParallelVolumeRenderer
+from repro.data.upsample import upsample_bilinear
+from repro.obs.tracer import CAT_PROGRESSIVE, Tracer
+from repro.pio.reader import DatasetHandle, collective_read_blocks
+from repro.progressive.ladder import build_pyramid, ladder_scales
+from repro.utils.errors import ConfigError
+
+
+@dataclass
+class LevelFrame:
+    """One delivered rung of the ladder, on the ladder's own clock."""
+
+    index: int
+    scale: int
+    width: int
+    height: int
+    t_start_s: float  # simulated seconds since the ladder began
+    t_done_s: float
+    frame: FrameResult
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_done_s - self.t_start_s
+
+
+@dataclass
+class _LadderPlan:
+    """Prepared per-level inputs (handles + cameras), coarse to fine."""
+
+    scales: tuple[int, ...]
+    handles: list
+    cameras: list
+    levels_planned: int
+    truncated: bool = False
+
+
+@dataclass
+class ProgressiveResult:
+    """What one ladder delivered, with its own reconcilable books."""
+
+    levels: list[LevelFrame]
+    levels_planned: int
+    nodes: int
+    truncated: bool = False  # DegradePolicy dropped the intermediate levels
+    cancelled: bool = False  # a camera move cancelled the un-started tail
+    cancel_after_s: float | None = None
+    trace: Tracer | None = field(default=None, repr=False)
+
+    @property
+    def ttfp_s(self) -> float:
+        """Time to first pixel: when the coarsest level landed."""
+        return self.levels[0].t_done_s if self.levels else 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.levels[-1].t_done_s if self.levels else 0.0
+
+    @property
+    def cancelled_levels(self) -> int:
+        return self.levels_planned - len(self.levels)
+
+    @property
+    def final(self) -> FrameResult | None:
+        """The full-resolution frame, if the ladder got that far."""
+        if self.levels and self.levels[-1].scale == 1:
+            return self.levels[-1].frame
+        return None
+
+    @property
+    def images(self) -> list[np.ndarray]:
+        return [lf.frame.image for lf in self.levels]
+
+    def preview(self, index: int = -1) -> np.ndarray:
+        """A level's image upsampled to the final resolution."""
+        if not self.levels:
+            raise ConfigError("ladder delivered no levels; nothing to preview")
+        lf = self.levels[index]
+        full = self.levels[-1] if self.levels[-1].scale == 1 else None
+        out_h = full.height if full else lf.height * lf.scale
+        out_w = full.width if full else lf.width * lf.scale
+        return upsample_bilinear(lf.frame.image, out_h, out_w)
+
+    def time_to_quality(self, rel_err: float) -> float | None:
+        """Earliest delivery time whose upsampled preview is within
+        ``rel_err`` mean-absolute error (relative to the final frame's
+        mean magnitude).  ``None`` if the ladder never reached the
+        final frame the tolerance is measured against."""
+        final = self.final
+        if final is None:
+            return None
+        norm = float(np.abs(final.image).mean()) or 1.0
+        for i, lf in enumerate(self.levels):
+            err = float(np.abs(self.preview(i) - final.image).mean()) / norm
+            if err <= rel_err:
+                return lf.t_done_s
+        return self.total_s
+
+    def accounting_failures(self) -> list[str]:
+        """Violated ladder identities, human-readable; empty == sound."""
+        fails: list[str] = []
+        if not self.levels:
+            fails.append("ladder delivered no levels")
+            return fails
+        if self.levels[0].t_start_s != 0.0:
+            fails.append(f"first level starts at {self.levels[0].t_start_s}, not 0")
+        for a, b in zip(self.levels, self.levels[1:]):
+            if abs(b.t_start_s - a.t_done_s) > 1e-9:
+                fails.append(
+                    f"level {b.index} starts at {b.t_start_s:.9f} but level "
+                    f"{a.index} ended at {a.t_done_s:.9f} (levels are serial)"
+                )
+            if b.width <= a.width:
+                fails.append(
+                    f"level {b.index} edge {b.width} does not refine level "
+                    f"{a.index} edge {a.width}"
+                )
+        for lf in self.levels:
+            if abs(lf.duration_s - lf.frame.timing.total_s) > 1e-9:
+                fails.append(
+                    f"level {lf.index} ladder duration {lf.duration_s:.9f} != "
+                    f"its frame's stage total {lf.frame.timing.total_s:.9f}"
+                )
+        if abs(self.ttfp_s - self.levels[0].t_done_s) > 1e-12:
+            fails.append("ttfp_s is not the first level's delivery time")
+        delivered = len(self.levels)
+        if not self.cancelled and not self.truncated:
+            if delivered != self.levels_planned:
+                fails.append(
+                    f"uncancelled ladder delivered {delivered} of "
+                    f"{self.levels_planned} planned levels"
+                )
+            if self.levels[-1].scale != 1:
+                fails.append("uncancelled ladder did not end at full resolution")
+        if self.truncated:
+            if delivered >= self.levels_planned:
+                fails.append("truncated ladder delivered every planned level")
+            if self.levels[-1].scale != 1:
+                fails.append("truncation must keep the final full-res level")
+        if self.cancelled and delivered >= self.levels_planned:
+            fails.append("cancelled ladder delivered every planned level")
+        if self.trace is not None and self.trace.enabled:
+            spans = [s for s in self.trace.spans if s.cat == CAT_PROGRESSIVE]
+            got = sum(1 for s in spans if s.name == "level")
+            if got != delivered:
+                fails.append(f"{got} 'level' spans for {delivered} delivered levels")
+            ttfp_marks = sum(1 for s in spans if s.name == "ttfp")
+            if ttfp_marks != 1:
+                fails.append(f"{ttfp_marks} 'ttfp' markers, expected exactly 1")
+        return fails
+
+
+class ProgressiveRenderer:
+    """Turn one render request into a coarse-first resolution ladder.
+
+    Wraps an existing :class:`ParallelVolumeRenderer`; every level is
+    a real ``render_frame`` on that renderer's world, plan cache, and
+    compositing backend.  ``render_ladder`` runs the whole ladder;
+    :class:`~repro.progressive.session.ProgressiveSession` drives the
+    same levels lazily on a DES engine with camera-move cancellation.
+    """
+
+    def __init__(
+        self,
+        renderer: ParallelVolumeRenderer,
+        levels: int = 4,
+        tracer: Tracer | None = None,
+    ):
+        if levels < 1:
+            raise ConfigError(f"progressive levels must be >= 1, got {levels}")
+        self.renderer = renderer
+        self.levels = int(levels)
+        # ``is None``, not ``or``: an empty Tracer is falsy (len 0) but
+        # still the caller's live sink.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+
+    # -- ladder preparation -------------------------------------------
+
+    def prepare(self, handle: DatasetHandle, field: np.ndarray | None = None) -> _LadderPlan:
+        """Build the per-level handles and cameras (pyramid included).
+
+        ``field`` is the full-resolution volume the coarse pyramid is
+        cut from; when omitted it is read once from ``handle`` (a
+        whole-volume read that is *not* part of any level's priced
+        I/O — pyramids are preprocessing, exactly like the paper's
+        upsampling step).
+        """
+        from repro.formats.raw import RawVolume
+        from repro.pio.reader import RawHandle
+
+        r = self.renderer
+        grid = tuple(int(s) for s in handle.shape)
+        if len(grid) != 3:
+            raise ConfigError(f"expected a 3D variable, got shape {handle.shape}")
+        scales = ladder_scales(self.levels)
+        base_camera = r.camera
+        truncated = False
+        if r.degrade is not None and self.levels > 2:
+            # Ladder-level degrade: when full-res I/O alone threatens
+            # the deadline, drop the intermediates — coarsest preview
+            # now, exact final frame after, nothing permanently lossy.
+            nprocs = r.world.nprocs
+            m = r.policy.compositors_for(nprocs)
+            plan = r.plan_cache.plan_for(
+                base_camera, grid, nprocs, r.step, r.ghost, r.ghost_mode, m
+            )
+            _arrays, report = collective_read_blocks(
+                handle, plan.read_blocks, r.hints, r.stripe
+            )
+            io_s = r.io_model.price(report, r.world.partition).seconds
+            if r.degrade.engages(io_s):
+                scales = (scales[0], 1)
+                truncated = True
+        if len(scales) > 1:
+            if field is None:
+                arrays, _report = collective_read_blocks(
+                    handle, [((0, 0, 0), grid)], r.hints, r.stripe
+                )
+                field = arrays[0]
+            pyramid = build_pyramid(np.asarray(field), len(scales))
+        handles: list = []
+        cameras: list = []
+        for i, f in enumerate(scales):
+            if f == 1:
+                handles.append(handle)
+                cameras.append(base_camera)
+            else:
+                handles.append(RawHandle(RawVolume.write(pyramid[i])))
+                cameras.append(base_camera.scaled(1.0 / f))
+        return _LadderPlan(
+            scales=scales,
+            handles=handles,
+            cameras=cameras,
+            levels_planned=self.levels,
+            truncated=truncated,
+        )
+
+    # -- level rendering ----------------------------------------------
+
+    def render_level(self, plan: _LadderPlan, index: int) -> tuple[FrameResult, object]:
+        """Render one rung: swap in the level camera, render, restore.
+
+        The per-frame DegradePolicy is held off for the duration — the
+        ladder itself is the degrade response, and the final level's
+        bitwise contract forbids a silently scaled camera.
+        """
+        r = self.renderer
+        saved_camera, saved_degrade = r.camera, r.degrade
+        r.camera = plan.cameras[index]
+        r.degrade = None
+        try:
+            frame = r.render_frame(plan.handles[index])
+        finally:
+            r.camera = saved_camera
+            r.degrade = saved_degrade
+        return frame, plan.cameras[index]
+
+    def emit_level(self, lf: LevelFrame, first: bool) -> None:
+        """Per-level span (plus the one-time TTFP marker) in
+        :data:`CAT_PROGRESSIVE`, on the ladder's clock."""
+        self.tracer.span(
+            0, "level", CAT_PROGRESSIVE, lf.t_start_s, lf.t_done_s,
+            level=lf.index, scale=lf.scale, edge=lf.width,
+        )
+        if first:
+            self.tracer.span(
+                0, "ttfp", CAT_PROGRESSIVE, lf.t_done_s, lf.t_done_s, edge=lf.width
+            )
+
+    # -- the whole ladder ---------------------------------------------
+
+    def render_ladder(
+        self, handle: DatasetHandle, field: np.ndarray | None = None
+    ) -> ProgressiveResult:
+        """Render every level back to back (no cancellation process)."""
+        plan = self.prepare(handle, field)
+        levels: list[LevelFrame] = []
+        t = 0.0
+        for k, f in enumerate(plan.scales):
+            frame, camera = self.render_level(plan, k)
+            dur = frame.timing.total_s
+            lf = LevelFrame(
+                index=k, scale=f, width=camera.width, height=camera.height,
+                t_start_s=t, t_done_s=t + dur, frame=frame,
+            )
+            self.emit_level(lf, first=(k == 0))
+            levels.append(lf)
+            t += dur
+        return ProgressiveResult(
+            levels=levels,
+            levels_planned=plan.levels_planned,
+            nodes=self.renderer.world.nprocs,
+            truncated=plan.truncated,
+            trace=self.tracer,
+        )

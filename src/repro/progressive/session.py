@@ -1,0 +1,105 @@
+"""`ProgressiveSession`: ladder rendering under interactive events.
+
+The session drives the same levels a :class:`ProgressiveRenderer`
+ladder would render, but *lazily* on a discrete-event engine: each
+level is rendered only when its start event fires, so a camera move
+that arrives mid-ladder cancels the un-started tail with the engine's
+own :meth:`Event.cancel` and those levels never render — they cost
+nothing, which is exactly the node-seconds the farm tier reclaims.
+
+Cancellation semantics (pinned here and mirrored in the farm tier):
+the level in flight when the move arrives *completes* — preemption
+mid-composite would leave a torn frame — and only the levels that have
+not started are dropped.  A ladder therefore always delivers at least
+its coarsest level, and a move arriving during the final level
+cancels nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.progressive.renderer import LevelFrame, ProgressiveRenderer, ProgressiveResult
+from repro.sim.engine import Engine
+from repro.utils.errors import ConfigError
+
+
+class ProgressiveSession:
+    """One interactive viewer: a ladder interruptible by camera moves."""
+
+    def __init__(self, progressive: ProgressiveRenderer):
+        self.progressive = progressive
+
+    def run(
+        self,
+        handle,
+        field: np.ndarray | None = None,
+        cancel_after_s: float | None = None,
+    ) -> ProgressiveResult:
+        """Render the ladder on a fresh engine; ``cancel_after_s`` is
+        the simulated time at which the viewer moves the camera (None:
+        a patient viewer, the ladder runs to completion)."""
+        if cancel_after_s is not None and cancel_after_s < 0:
+            raise ConfigError(f"cancel_after_s must be >= 0, got {cancel_after_s!r}")
+        prog = self.progressive
+        plan = prog.prepare(handle, field)
+        engine = Engine()
+        levels: list[LevelFrame] = []
+        state = {"pending": None, "moved": False, "cancelled": False}
+
+        def start_level(k: int) -> None:
+            # Rendering happens *now* (lazily): a level whose start
+            # event was cancelled never executes this and costs nothing.
+            state["pending"] = None
+            t0 = engine.now
+            frame, camera = prog.render_level(plan, k)
+            dur = frame.timing.total_s
+            lf = LevelFrame(
+                index=k, scale=plan.scales[k],
+                width=camera.width, height=camera.height,
+                t_start_s=t0, t_done_s=t0 + dur, frame=frame,
+            )
+
+            def deliver() -> None:
+                prog.emit_level(lf, first=(k == 0))
+                levels.append(lf)
+                if k + 1 < len(plan.scales):
+                    if state["moved"]:
+                        # The camera moved while this level was in
+                        # flight: it completes, its successors never
+                        # start.
+                        state["cancelled"] = True
+                    else:
+                        # Same-timestamp ties resolve in seq order, and
+                        # the move event (scheduled at setup) has the
+                        # lower seq: a move at exactly this boundary
+                        # fires first and wins.
+                        state["pending"] = engine.schedule_at(
+                            lf.t_done_s, lambda: start_level(k + 1)
+                        )
+
+            engine.schedule_at(lf.t_done_s, deliver)
+
+        def camera_move() -> None:
+            state["moved"] = True
+            if state["pending"] is not None:
+                state["pending"].cancel()
+                state["pending"] = None
+                state["cancelled"] = True
+
+        if cancel_after_s is not None:
+            # Scheduled before the first level so that at a tied
+            # timestamp the move fires before the next level starts.
+            engine.schedule_at(float(cancel_after_s), camera_move)
+        engine.schedule_at(0.0, lambda: start_level(0))
+        engine.run()
+
+        return ProgressiveResult(
+            levels=levels,
+            levels_planned=plan.levels_planned,
+            nodes=prog.renderer.world.nprocs,
+            truncated=plan.truncated,
+            cancelled=state["cancelled"],
+            cancel_after_s=cancel_after_s,
+            trace=prog.tracer,
+        )

@@ -201,3 +201,94 @@ class TestCLI:
         ])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestProgressiveCLI:
+    def test_check_verifies_bitwise_final(self, tmp_path, capsys):
+        trace_out = tmp_path / "ladder.json"
+        rc = main([
+            "progressive", "--grid", "10", "--cores", "4", "--image", "16",
+            "--levels", "3", "--check", "--trace-out", str(trace_out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "3/3 ladder levels delivered" in text
+        assert "bitwise identical" in text
+        import json
+
+        doc = json.loads(trace_out.read_text())
+        names = [e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert names.count("level") == 3
+
+    def test_cancel_after_truncates_the_ladder(self, capsys):
+        rc = main([
+            "progressive", "--grid", "10", "--cores", "4", "--image", "16",
+            "--levels", "3", "--cancel-after", "0.001",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "1/3 ladder levels delivered" in text
+        assert "cancelled 2 level(s)" in text
+
+    def test_levels_written_as_ppm(self, tmp_path):
+        prefix = tmp_path / "ladder"
+        rc = main([
+            "progressive", "--grid", "10", "--cores", "4", "--image", "16",
+            "--levels", "2", "--out", str(prefix),
+        ])
+        assert rc == 0
+        assert (tmp_path / "ladder_L0.ppm").read_bytes().startswith(b"P6\n8 8\n")
+        assert (tmp_path / "ladder_L1.ppm").read_bytes().startswith(b"P6\n16 16\n")
+
+    def test_farm_interactive_selftest(self, capsys):
+        rc = main(["farm", "--interactive-selftest"])
+        assert rc == 0
+        assert "farm interactive selftest ok" in capsys.readouterr().out
+
+
+class TestInsituCLI:
+    def test_table_shows_io_avoided(self, capsys):
+        rc = main(["insitu", "--steps", "40", "--render-every", "8"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "post-hoc" in text and "in-situ" in text
+        assert "storage round-trip avoided" in text
+
+    def test_json_comparison(self, capsys):
+        import json
+
+        rc = main([
+            "insitu", "--dataset", "2240", "--cores", "32768",
+            "--steps", "100", "--render-every", "10", "--json",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["frames"] == 10
+        assert report["posthoc_s"] > report["insitu_s"] > 0
+        assert report["speedup"] == pytest.approx(
+            report["posthoc_s"] / report["insitu_s"]
+        )
+        assert report["io_avoided_s"] == pytest.approx(
+            report["posthoc_s"] - report["insitu_s"]
+        )
+
+    def test_bad_steps_rejected(self, capsys):
+        rc = main(["insitu", "--steps", "0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCLI:
+    def test_list_names_the_registry(self, capsys):
+        rc = main(["bench", "--list"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "progressive_refine_2048" in text
+        assert "BENCH_progressive.json" in text
+
+    def test_unknown_only_name_is_a_clean_error(self, capsys):
+        rc = main(["bench", "--only", "no_such_kernel"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark name(s): no_such_kernel" in err
+        assert "progressive_refine_2048" in err
